@@ -1,0 +1,11 @@
+"""Fig. 8 reproduction: hardware EC throughput, D2 vs D-K."""
+
+from repro.bench import exp_fig8
+
+
+def test_fig8_hw_throughput_ec(benchmark, report):
+    result = benchmark.pedantic(exp_fig8, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        workload, bs, d2, dk = row
+        assert dk > d2, f"{workload}@{bs}: D-K {dk} !> D2 {d2}"

@@ -1,0 +1,11 @@
+"""Abstract headline reproduction: up to 3.2x IOPS / 3.45x throughput."""
+
+from repro.bench import exp_headline
+
+
+def test_headline_speedups(benchmark, report):
+    result = benchmark.pedantic(exp_headline, rounds=1, iterations=1)
+    report(result)
+    speedups = {row[0]: row[1] for row in result.rows}
+    assert 2.0 < speedups["max throughput speedup"] < 5.5
+    assert 2.0 < speedups["max IOPS speedup"] < 5.5

@@ -1,0 +1,14 @@
+"""Abstract/Section V reproduction: ~30% execution-time reduction on
+real-world OLAP/OLTP workloads."""
+
+from repro.bench import exp_realworld
+
+
+def test_realworld_olap_oltp(benchmark, report):
+    result = benchmark.pedantic(exp_realworld, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        workload, d2, dk, reduction, _paper = row
+        assert dk < d2, f"{workload}: D-K {dk} !< D2 {d2}"
+        pct = float(reduction.rstrip("%"))
+        assert 15 <= pct <= 45, f"{workload}: reduction {pct}% too far from paper's ~30%"

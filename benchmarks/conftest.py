@@ -1,0 +1,31 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark renders its table to stdout *and* persists it under
+``benchmarks/results/`` so the full reproduction report survives pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable saving a rendered experiment table to the results dir."""
+
+    def _save(exp_result) -> None:
+        from repro.bench import export_csv
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{exp_result.exp_id}.txt"
+        text = exp_result.render()
+        path.write_text(text + "\n")
+        export_csv(exp_result, RESULTS_DIR / f"{exp_result.exp_id}.csv")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

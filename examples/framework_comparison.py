@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Compare all four stack generations on the same workload grid.
+
+Reproduces the paper's central comparison (Table II / Figs. 6-7 shape):
+software Ceph, DeLiBA-1, DeLiBA-2, and DeLiBA-K on 4 kB and 128 kB
+workloads, reporting latency at queue depth 1 and throughput at depth 4.
+
+Run:  python examples/framework_comparison.py
+"""
+
+from repro.bench.tables import format_table
+from repro.deliba import FRAMEWORKS, run_job_on
+from repro.units import kib
+from repro.workloads import FioJob
+
+GENERATIONS = ("software-ceph", "deliba1", "deliba2", "delibak")
+WORKLOADS = ("read", "write", "randread", "randwrite")
+
+
+def main() -> None:
+    # Latency at qd=1, 4 kB.
+    rows = []
+    for rw in WORKLOADS:
+        row = [rw]
+        for name in GENERATIONS:
+            job = FioJob("cmp", rw, bs=kib(4), iodepth=1, nrequests=40)
+            row.append(round(run_job_on(FRAMEWORKS[name], job).mean_latency_us(), 1))
+        rows.append(row)
+    print(format_table(["workload"] + [FRAMEWORKS[g].label for g in GENERATIONS], rows,
+                       title="4 kB latency, queue depth 1 (us)"))
+
+    # Throughput at qd=4, 4 kB and 128 kB.
+    for bs in (kib(4), kib(128)):
+        rows = []
+        for rw in WORKLOADS:
+            row = [rw]
+            for name in GENERATIONS:
+                job = FioJob("cmp", rw, bs=bs, iodepth=4, nrequests=100)
+                row.append(round(run_job_on(FRAMEWORKS[name], job).throughput_mb_s(), 1))
+            rows.append(row)
+        print()
+        print(format_table(["workload"] + [FRAMEWORKS[g].label for g in GENERATIONS], rows,
+                           title=f"{bs // 1024} kB throughput, queue depth 4 (MB/s)"))
+
+    dk = run_job_on(FRAMEWORKS["delibak"], FioJob("x", "randwrite", bs=kib(4), iodepth=4, nrequests=100))
+    d2 = run_job_on(FRAMEWORKS["deliba2"], FioJob("x", "randwrite", bs=kib(4), iodepth=4, nrequests=100))
+    print(f"\nDeLiBA-K vs DeLiBA-2, 4 kB random write: "
+          f"{dk.throughput_mb_s() / d2.throughput_mb_s():.2f}x throughput "
+          f"(paper: 3.45x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Multi-tenancy: several VM virtual disks over one FPGA via SR-IOV.
+
+The lack of multi-tenancy was one of the three problems DeLiBA-K fixed
+(paper Section III): QDMA exposes virtual functions so every tenant VM
+gets its own queue sets on the shared card.  This example runs three
+tenants concurrently, each with its own RBD image, UIFD driver instance
+(bound to a distinct VF), block layer, and io_uring engine — and shows
+that per-tenant throughput degrades gracefully rather than serializing.
+
+Run:  python examples/multi_tenant_vms.py
+"""
+
+from repro.api import UringEngine
+from repro.blk import BlockLayer, DMQ_CONFIG
+from repro.deliba import DELIBAK, build_framework
+from repro.driver import UifdConfig, UifdDriver
+from repro.host import HostKernel
+from repro.osd import RBDImage
+from repro.units import kib, mib
+from repro.workloads import FioJob
+
+
+def main() -> None:
+    base = build_framework(DELIBAK)
+    env = base.env
+    cluster = base.cluster
+    qdma = base.qdma
+
+    tenants = []
+    for vf in (1, 2, 3):
+        client = cluster.new_client(f"vm{vf}")
+        image = RBDImage(f"vm{vf}-disk", mib(64), base.pool, client, direct=True)
+        kernel = HostKernel(env)
+        driver = UifdDriver(
+            env,
+            kernel,
+            image,
+            UifdConfig(),
+            qdma=qdma,
+            crush_accel=base.accelerators["crush"],
+            ec_accel=base.accelerators["ec"],
+            function=vf,  # SR-IOV virtual function for this VM
+            hardware=True,
+        )
+        blk = BlockLayer(env, kernel, driver.queue_rq, DMQ_CONFIG)
+        engine = UringEngine(env, kernel, blk, num_instances=2)
+        tenants.append((vf, engine))
+
+    job = FioJob("tenant", "randwrite", bs=kib(4), iodepth=4, nrequests=150, size=mib(32))
+    procs = {
+        vf: env.process(engine.run(job.make_bios(cluster.rng.stream(f"vm{vf}")), job.iodepth))
+        for vf, engine in tenants
+    }
+    env.run()
+
+    print(f"QDMA queue sets in use: {qdma.queues_in_use} "
+          f"(max {2048}); one replication queue per VF")
+    total = 0.0
+    for vf, proc in procs.items():
+        result = proc.value
+        vf_queues = len(qdma.queues_of_function(vf))
+        print(f"  VM{vf}: {result.throughput_mb_s():7.1f} MB/s, "
+              f"{result.mean_latency_us():6.1f} us mean latency, "
+              f"{vf_queues} queue set(s) on VF{vf}")
+        total += result.throughput_mb_s()
+    print(f"aggregate: {total:.1f} MB/s across 3 concurrent tenants")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""DeLiBA-K reproduction: a simulated FPGA-accelerated distributed storage stack.
+
+See README.md for the architecture and DESIGN.md for the paper mapping.
+Primary entry points: :func:`repro.deliba.build_framework` (assemble a
+stack generation) and the experiment functions in :mod:`repro.bench`.
+"""
+
+__version__ = "1.0.0"

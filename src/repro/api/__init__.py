@@ -1,0 +1,30 @@
+"""Host I/O API engines: the four traditional Linux APIs plus io_uring.
+
+Each engine drives bios through the block layer with the submission and
+completion mechanics (syscalls, copies, context switches, ring buffers)
+of one API — the axis of comparison in paper Sections II and III.
+"""
+
+from .base import AioEngine, RunResult
+from .libaio import LibAioEngine
+from .mmap_io import MmapEngine
+from .posix_aio import PosixAioEngine
+from .sync_rw import SyncEngine
+from .uring import Cqe, IoUring, Ring, Sqe, UringCosts, UringEngine, UringMode, UringOp
+
+__all__ = [
+    "AioEngine",
+    "Cqe",
+    "IoUring",
+    "LibAioEngine",
+    "MmapEngine",
+    "PosixAioEngine",
+    "Ring",
+    "RunResult",
+    "Sqe",
+    "SyncEngine",
+    "UringCosts",
+    "UringEngine",
+    "UringMode",
+    "UringOp",
+]

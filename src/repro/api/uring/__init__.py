@@ -1,0 +1,21 @@
+"""io_uring: real SQ/CQ ring buffers, three modes, multi-instance engine."""
+
+from .engine import UringEngine
+from .instance import IoUring, UringCosts, UringMode
+from .ring import Ring
+from .sqe import CQE_BYTES, ECANCELED, IOSQE_IO_LINK, SQE_BYTES, Cqe, Sqe, UringOp
+
+__all__ = [
+    "CQE_BYTES",
+    "Cqe",
+    "ECANCELED",
+    "IOSQE_IO_LINK",
+    "IoUring",
+    "Ring",
+    "SQE_BYTES",
+    "Sqe",
+    "UringCosts",
+    "UringEngine",
+    "UringMode",
+    "UringOp",
+]

@@ -1,0 +1,76 @@
+"""io_uring's core data structure: a single-producer single-consumer ring.
+
+Faithful to the kernel's layout: a power-of-two entry array indexed by
+free-running 32-bit ``head``/``tail`` counters masked into slots.  The
+producer owns ``tail``, the consumer owns ``head``; ``tail - head`` (in
+wrapping arithmetic) is the fill level.  The submission and completion
+queues of an instance are both built from this class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...errors import ApiError, RingFullError
+
+_U32 = 0xFFFFFFFF
+
+
+class Ring:
+    """Power-of-two circular buffer with wrapping 32-bit indices."""
+
+    def __init__(self, entries: int):
+        if entries < 1 or entries & (entries - 1):
+            raise ApiError(f"ring entries must be a power of two >= 1, got {entries}")
+        self.entries = entries
+        self.mask = entries - 1
+        self.head = 0  # consumer index (free-running)
+        self.tail = 0  # producer index (free-running)
+        self._slots: list[Any] = [None] * entries
+
+    def __len__(self) -> int:
+        return (self.tail - self.head) & _U32
+
+    @property
+    def is_empty(self) -> bool:
+        """No unconsumed entries."""
+        return self.head == self.tail
+
+    @property
+    def is_full(self) -> bool:
+        """No free slots."""
+        return len(self) == self.entries
+
+    @property
+    def space(self) -> int:
+        """Free slots available to the producer."""
+        return self.entries - len(self)
+
+    def push(self, item: Any) -> None:
+        """Producer: append one entry (raises :class:`RingFullError`)."""
+        if self.is_full:
+            raise RingFullError(f"ring full ({self.entries} entries)")
+        self._slots[self.tail & self.mask] = item
+        self.tail = (self.tail + 1) & _U32
+
+    def pop(self) -> Any:
+        """Consumer: remove the oldest entry (raises when empty)."""
+        if self.is_empty:
+            raise ApiError("pop from empty ring")
+        item = self._slots[self.head & self.mask]
+        self._slots[self.head & self.mask] = None
+        self.head = (self.head + 1) & _U32
+        return item
+
+    def peek(self) -> Optional[Any]:
+        """Oldest entry without consuming (None when empty)."""
+        if self.is_empty:
+            return None
+        return self._slots[self.head & self.mask]
+
+    def pop_many(self, max_items: int) -> list[Any]:
+        """Consume up to ``max_items`` entries."""
+        out = []
+        while not self.is_empty and len(out) < max_items:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,75 @@
+"""Submission and completion queue entries (SQE / CQE)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ...blk import Bio
+from ...errors import ApiError
+
+
+class UringOp(Enum):
+    """Subset of io_uring opcodes used by block I/O."""
+
+    READ = "IORING_OP_READ"
+    WRITE = "IORING_OP_WRITE"
+    READ_FIXED = "IORING_OP_READ_FIXED"
+    WRITE_FIXED = "IORING_OP_WRITE_FIXED"
+    NOP = "IORING_OP_NOP"
+
+
+#: On-ring footprint of one SQE (64 bytes in the kernel ABI).
+SQE_BYTES = 64
+#: On-ring footprint of one CQE (16 bytes).
+CQE_BYTES = 16
+
+#: SQE flags (subset of the kernel ABI).
+IOSQE_IO_LINK = 1 << 2  # chain: next SQE starts only after this completes
+#: CQE result for an op cancelled because an earlier link member failed.
+ECANCELED = -125
+
+
+@dataclass
+class Sqe:
+    """One submission entry: opcode + I/O description + user cookie.
+
+    Mirrors the kernel ABI fields the paper enumerates in Section III-A:
+    operation type, file descriptor, buffer pointer, length, and flags.
+    """
+
+    opcode: UringOp
+    fd: int
+    offset: int
+    length: int
+    user_data: int
+    buf_addr: int = 0
+    flags: int = 0
+    bio: Optional[Bio] = None
+
+    def __post_init__(self):
+        if self.length < 0:
+            raise ApiError(f"sqe length must be >= 0, got {self.length}")
+        if self.opcode in (UringOp.READ, UringOp.WRITE, UringOp.READ_FIXED, UringOp.WRITE_FIXED):
+            if self.bio is None:
+                raise ApiError(f"{self.opcode.value} sqe needs an attached bio")
+
+    @property
+    def is_fixed_buffer(self) -> bool:
+        """True for registered-buffer (zero-copy) variants."""
+        return self.opcode in (UringOp.READ_FIXED, UringOp.WRITE_FIXED)
+
+
+@dataclass
+class Cqe:
+    """One completion entry: result code + the submitter's cookie."""
+
+    user_data: int
+    res: int  # bytes transferred, or negative errno
+    flags: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the I/O succeeded."""
+        return self.res >= 0

@@ -1,0 +1,50 @@
+"""Benchmark harness: per-figure/table experiment runners and reports."""
+
+from .experiments import (
+    ExperimentResult,
+    FIG_BLOCK_SIZES,
+    FIG_IODEPTH,
+    FIG_WORKLOADS,
+    exp_fig3,
+    exp_fig4,
+    exp_fig6,
+    exp_fig7,
+    exp_fig8,
+    exp_fig9,
+    exp_headline,
+    exp_power,
+    exp_realworld,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+)
+from .export import export_all, export_csv
+from .sweep import SweepSpec, run_sweep
+from .tables import format_table, ratio_note
+from . import paper_data
+
+__all__ = [
+    "ExperimentResult",
+    "FIG_BLOCK_SIZES",
+    "FIG_IODEPTH",
+    "FIG_WORKLOADS",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_headline",
+    "exp_power",
+    "exp_realworld",
+    "exp_table1",
+    "exp_table2",
+    "exp_table3",
+    "SweepSpec",
+    "export_all",
+    "export_csv",
+    "run_sweep",
+    "format_table",
+    "paper_data",
+    "ratio_note",
+]

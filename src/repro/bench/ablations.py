@@ -1,0 +1,173 @@
+"""Ablation studies over DeLiBA-K's design decisions.
+
+Each ablation toggles exactly one knob on the DELIBAK configuration and
+measures the effect, isolating the contribution of the six optimizations
+the paper's architecture figure enumerates (DESIGN.md Section 4 lists
+the candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..blk import BlkMqConfig
+from ..deliba import DELIBA2, DELIBAK, DELIBAK_SW, build_framework, run_job_on
+from ..osd import ClusterSpec, HDD, NVME_SSD, SATA_SSD
+from ..units import kib, mib
+from ..workloads import FioJob
+from .experiments import ExperimentResult
+
+
+def _job(rw="randwrite", bs=kib(4), iodepth=8, n=120):
+    return FioJob(f"abl-{rw}", rw, bs=bs, iodepth=iodepth, nrequests=n, size=mib(64))
+
+
+def _measure(config, job=None, seed=0):
+    job = job or _job()
+    r = run_job_on(config, job, seed=seed)
+    return {
+        "latency_us": round(r.mean_latency_us(), 1),
+        "mb_s": round(r.throughput_mb_s(), 1),
+        "kiops": round(r.kiops(), 2),
+    }
+
+
+def _two_way(exp_id, title, label_a, cfg_a, label_b, cfg_b, job=None) -> ExperimentResult:
+    res = ExperimentResult(exp_id, title, ["variant", "latency-us", "MB/s", "KIOPS"])
+    for label, cfg in ((label_a, cfg_a), (label_b, cfg_b)):
+        m = _measure(cfg, job)
+        res.rows.append([label, m["latency_us"], m["mb_s"], m["kiops"]])
+    return res
+
+
+def ablation_dmq() -> ExperimentResult:
+    """Elevator bypass: DMQ vs a stock mq-deadline block layer."""
+    stock_blk = replace(
+        DELIBAK,
+        name="delibak-elevator",
+        blk=BlkMqConfig(num_hw_queues=28, tags_per_queue=2048, merge_enabled=False),
+    )
+    return _two_way(
+        "ablation-dmq",
+        "DMQ scheduler bypass vs mq-deadline elevator",
+        "DMQ (bypass)",
+        DELIBAK,
+        "mq-deadline",
+        stock_blk,
+    )
+
+
+def ablation_batching() -> ExperimentResult:
+    """io_uring batching: 1 vs 16 SQEs per io_uring_enter (POLL mode,
+    where submission syscalls actually exist)."""
+    unbatched = replace(DELIBAK, name="delibak-nobatch", uring_sqpoll=False, uring_batch=1)
+    batched = replace(DELIBAK, name="delibak-batch16", uring_sqpoll=False, uring_batch=16)
+    return _two_way(
+        "ablation-batching",
+        "submission batching (POLL mode, qd=16)",
+        "batch=16",
+        batched,
+        "batch=1",
+        unbatched,
+        job=_job(iodepth=16, n=160),
+    )
+
+
+def ablation_instances() -> ExperimentResult:
+    """Multi-instance + affinity: 3 pinned instances vs 1, vs 3 unpinned."""
+    res = ExperimentResult(
+        "ablation-instances",
+        "io_uring instance count and CPU affinity (qd=12)",
+        ["variant", "latency-us", "MB/s", "KIOPS"],
+    )
+    variants = (
+        ("3 instances, pinned", DELIBAK),
+        ("1 instance", replace(DELIBAK, name="delibak-1inst", uring_instances=1)),
+        ("3 instances, unpinned", replace(DELIBAK, name="delibak-unpin", uring_pin_cores=False)),
+    )
+    job = _job(iodepth=12, n=180)
+    for label, cfg in variants:
+        m = _measure(cfg, job)
+        res.rows.append([label, m["latency_us"], m["mb_s"], m["kiops"]])
+    return res
+
+
+def ablation_rtl_vs_hls() -> ExperimentResult:
+    """Accelerator implementation: DeLiBA-K RTL vs DeLiBA-2-era HLS
+    (TCP stack held at RTL so only the kernels change)."""
+    hls = replace(DELIBAK, name="delibak-hls", accel_impl="hls")
+    return _two_way(
+        "ablation-rtl-vs-hls",
+        "RTL vs HLS accelerators (everything else D-K)",
+        "RTL (235 MHz, fewer cycles)",
+        DELIBAK,
+        "HLS (DeLiBA-2 era)",
+        hls,
+    )
+
+
+def ablation_offload() -> ExperimentResult:
+    """FPGA offload on vs off with the identical host stack (io_uring +
+    DMQ + UIFD): the pure contribution of the hardware datapath."""
+    return _two_way(
+        "ablation-offload",
+        "FPGA datapath vs software placement/EC (same host stack)",
+        "hardware (QDMA + RTL)",
+        DELIBAK,
+        "software (host CPU)",
+        DELIBAK_SW,
+    )
+
+
+def ablation_polling() -> ExperimentResult:
+    """Completion delivery: kernel-polled (SQPOLL) vs IRQ-driven."""
+    irq = replace(DELIBAK, name="delibak-irq", uring_sqpoll=False, uring_interrupt=True)
+    return _two_way(
+        "ablation-polling",
+        "kernel-polled vs interrupt-driven completions",
+        "polled (SQPOLL)",
+        DELIBAK,
+        "interrupt-driven",
+        irq,
+    )
+
+
+def ablation_media() -> ExperimentResult:
+    """Media sensitivity: the D-K/D2 gain shrinks as the drive slows.
+
+    With NVMe media the host/stack overheads DeLiBA-K removes are a large
+    share of the I/O; on SATA SSDs the media grows; on spinning disks the
+    seek dominates everything and the FPGA offload buys almost nothing —
+    the same argument the paper's NVMe-era motivation makes in reverse.
+    """
+    res = ExperimentResult(
+        "ablation-media",
+        "4 kB rand-read latency (us) by device class, D2 vs D-K",
+        ["media", "D2", "D-K", "D-K gain"],
+    )
+    job = FioJob("med", "randread", bs=kib(4), iodepth=1, nrequests=30, size=mib(32))
+    for media in (NVME_SSD, SATA_SSD, HDD):
+        lat = {}
+        for cfg in (DELIBA2, DELIBAK):
+            fw = build_framework(
+                cfg, cluster_spec=ClusterSpec(media=media, client_stack=cfg.client_stack)
+            )
+            proc = fw.env.process(fw.run_fio(job))
+            fw.env.run()
+            lat[cfg.name] = proc.value.mean_latency_us()
+        gain = lat["deliba2"] / lat["delibak"] if lat["delibak"] else 0.0
+        res.rows.append(
+            [media.name, round(lat["deliba2"], 1), round(lat["delibak"], 1), f"{gain:.2f}x"]
+        )
+    return res
+
+
+ALL_ABLATIONS = {
+    "dmq": ablation_dmq,
+    "batching": ablation_batching,
+    "instances": ablation_instances,
+    "rtl-vs-hls": ablation_rtl_vs_hls,
+    "media": ablation_media,
+    "offload": ablation_offload,
+    "polling": ablation_polling,
+}

@@ -1,0 +1,390 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Each function runs the relevant simulations and returns an
+:class:`ExperimentResult` whose rows mirror the paper's layout, with the
+published reference values alongside.  The benchmark files under
+``benchmarks/`` are thin wrappers that print these tables and assert the
+qualitative shape (orderings, rough factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..deliba import FRAMEWORKS, PoolSpec, build_framework, run_job_on
+from ..fpga import (
+    Accelerator,
+    KERNEL_SPECS,
+    PcieLink,
+    PowerModel,
+    QdmaEngine,
+    QueuePurpose,
+    full_load_power,
+    spec_by_name,
+)
+from ..sim import Environment, RngRegistry
+from ..units import kib, mib, to_us, us
+from ..workloads import FioJob, OlapWorkload, OltpWorkload, run_olap, run_oltp
+from . import paper_data
+from .tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        """ASCII report."""
+        out = format_table(self.headers, self.rows, title=f"== {self.exp_id}: {self.title} ==")
+        if self.notes:
+            out += f"\n{self.notes}"
+        return out
+
+
+#: Block sizes swept in the figure reproductions.
+FIG_BLOCK_SIZES = (kib(4), kib(8), kib(64), kib(128))
+#: fio modes in paper order.
+FIG_WORKLOADS = ("read", "write", "randread", "randwrite")
+#: Queue depth used throughout (the paper omits its fio parameters; 4
+#: reproduces both the throughput neighborhoods and the D-K/D2 ratios).
+FIG_IODEPTH = 4
+
+_MODE_LABEL = {"read": "seq-read", "write": "seq-write", "randread": "rand-read", "randwrite": "rand-write"}
+
+
+def _run(framework: str, rw: str, bs: int, iodepth: int, nreq: int, pool: str, seed: int = 0):
+    pool_spec = PoolSpec(kind=pool)
+    job = FioJob(name=f"{rw}-{bs}", rw=rw, bs=bs, iodepth=iodepth, nrequests=nreq, size=mib(64))
+    return run_job_on(FRAMEWORKS[framework], job, pool_spec=pool_spec, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def _sweep(framework: str, pool: str, iodepth: int = FIG_IODEPTH, nreq: int = 100):
+    """Full workload x block-size grid for one framework (cached)."""
+    out = {}
+    for rw in FIG_WORKLOADS:
+        for bs in FIG_BLOCK_SIZES:
+            r = _run(framework, rw, bs, iodepth, nreq, pool)
+            out[(rw, bs)] = (r.throughput_mb_s(), r.kiops(), r.mean_latency_us())
+    return out
+
+
+# --- Fig. 3 / Fig. 4: software baselines -------------------------------------------
+
+
+def _fig_sw(exp_id: str, pool: str) -> ExperimentResult:
+    title = f"software baseline ({pool}): DeLiBA-K vs DeLiBA-2, io_uring vs NBD"
+    res = ExperimentResult(
+        exp_id,
+        title,
+        ["metric", "workload", "bs", "D2 (sw)", "D-K (sw)", "paper D2", "paper D-K"],
+    )
+    paper_lat = paper_data.FIG3_SW_LATENCY
+    for bs in (kib(4), kib(128)):
+        for rw in FIG_WORKLOADS:
+            lat = {}
+            thr = {}
+            for fw in ("deliba2-sw", "delibak-sw"):
+                r_lat = _run(fw, rw, bs, 1, 40, pool)
+                r_thr = _run(fw, rw, bs, FIG_IODEPTH, 80, pool)
+                lat[fw] = r_lat.mean_latency_us()
+                thr[fw] = r_thr.throughput_mb_s()
+            p2 = pk = ""
+            if bs == kib(4) and rw in ("randread", "randwrite"):
+                idx = 0 if rw == "randread" else 1
+                p2 = paper_lat["deliba2-sw"][idx]
+                pk = paper_lat["delibak-sw"][idx]
+            res.rows.append(
+                ["latency-us", _MODE_LABEL[rw], bs, round(lat["deliba2-sw"], 1), round(lat["delibak-sw"], 1), p2, pk]
+            )
+            res.rows.append(
+                ["MB/s", _MODE_LABEL[rw], bs, round(thr["deliba2-sw"], 1), round(thr["delibak-sw"], 1), "", ""]
+            )
+    return res
+
+
+def exp_fig3() -> ExperimentResult:
+    """Fig. 3: software baselines in replication mode."""
+    return _fig_sw("fig3", "replicated")
+
+
+def exp_fig4() -> ExperimentResult:
+    """Fig. 4: software baselines in erasure-coding mode."""
+    res = _fig_sw("fig4", "erasure")
+    # The paper's EC software gains at 4 kB: 2.88x rand-write, 2.4x rand-read.
+    gains = {}
+    for rw in ("randread", "randwrite"):
+        d2 = _run("deliba2-sw", rw, kib(4), FIG_IODEPTH, 80, "erasure").throughput_mb_s()
+        dk = _run("delibak-sw", rw, kib(4), FIG_IODEPTH, 80, "erasure").throughput_mb_s()
+        gains[rw] = dk / d2 if d2 else 0.0
+    res.notes = (
+        f"EC 4kB throughput gain D-K/D2: rand-read {gains['randread']:.2f}x "
+        f"(paper {paper_data.FIG4_EC_THROUGHPUT_GAIN['randread']}x), rand-write "
+        f"{gains['randwrite']:.2f}x (paper {paper_data.FIG4_EC_THROUGHPUT_GAIN['randwrite']}x)"
+    )
+    return res
+
+
+# --- Table I: kernel profile --------------------------------------------------------
+
+
+def _standalone_invocation_us(kernel: str) -> float:
+    """Simulated standalone accelerator invocation (Table I column 6).
+
+    Drives the real ioctl -> QDMA -> accelerator -> completion path.  The
+    batch size per invocation is calibrated so the simulated time tracks
+    the paper's measured column (their standalone tests recompute
+    placements for a full PG map / encode a whole object per call).
+    """
+    env = Environment()
+    qdma = QdmaEngine(env, PcieLink(env))
+    queue = qdma.allocate_queue(QueuePurpose.REPLICATION)
+    spec = spec_by_name(kernel)
+    accel = Accelerator(env, spec)
+    # Fixed driver path: ioctl + marshalling + descriptor round trip + IRQ.
+    fixed_ns = us(13)
+    items = max(1, int((spec.hw_exec_ns - fixed_ns) * spec.clock_hz / 1e9))
+
+    def invoke(env):
+        yield env.timeout(us(11))  # ioctl + driver marshalling + wakeup
+        yield from qdma.h2c_transfer(queue, max(64, items // 8))
+        yield from accel.process(items)
+        yield from qdma.c2h_transfer(queue, max(64, items // 16))
+
+    env.process(invoke(env))
+    env.run()
+    return to_us(env.now)
+
+
+def exp_table1() -> ExperimentResult:
+    """Table I: software profile vs RTL cycles/latency vs FPGA execution."""
+    res = ExperimentResult(
+        "table1",
+        "replication and EC kernels: SW profile vs RTL vs FPGA execution",
+        [
+            "kernel",
+            "sw-exec-us",
+            "contrib",
+            "rtl-cycles",
+            "vivado-lat-us",
+            "hw-exec-us (sim)",
+            "hw-exec-us (paper)",
+            "sloc-c",
+            "sloc-verilog",
+        ],
+    )
+    for kernel, spec in KERNEL_SPECS.items():
+        paper_row = paper_data.TABLE1[kernel]
+        measured = _standalone_invocation_us(kernel)
+        res.rows.append(
+            [
+                kernel,
+                to_us(spec.sw_exec_ns),
+                f"{spec.sw_runtime_share:.0%}",
+                f"{spec.cycles[0]}-{spec.cycles[1]}",
+                f"{spec.vivado_latency_ns[0] / 1000:.3f}-{spec.vivado_latency_ns[1] / 1000:.3f}",
+                round(measured, 1),
+                paper_row[4],
+                spec.sloc_c,
+                spec.sloc_verilog,
+            ]
+        )
+    res.notes = (
+        "sw-exec, cycles, vivado latency and SLOC columns encode the paper's "
+        "published values (they drive the cost model); hw-exec (sim) runs the "
+        "ioctl->QDMA->accelerator->completion path with a calibrated batch."
+    )
+    return res
+
+
+# --- Table II: hardware latency ---------------------------------------------------------
+
+
+def exp_table2() -> ExperimentResult:
+    """Table II: 4 kB I/O latency across hardware frameworks."""
+    res = ExperimentResult(
+        "table2",
+        "4 kB request latency, hardware frameworks (us)",
+        ["pool", "framework", "seq-read", "seq-write", "rand-read", "rand-write", "paper"],
+    )
+    grids = (
+        ("replicated", ("deliba1", "deliba2", "delibak"), paper_data.TABLE2_REPLICATION),
+        ("erasure", ("deliba2", "delibak"), paper_data.TABLE2_ERASURE),
+    )
+    for pool, fws, paper in grids:
+        for fw in fws:
+            row = [pool, FRAMEWORKS[fw].label]
+            for rw in FIG_WORKLOADS:
+                r = _run(fw, rw, kib(4), 1, 40, pool)
+                row.append(round(r.mean_latency_us(), 1))
+            row.append(str(paper[fw]))
+            res.rows.append(row)
+    return res
+
+
+# --- Figs 6-9: hardware throughput / KIOPS ------------------------------------------------
+
+
+def _fig_hw(exp_id: str, pool: str, fws: tuple, metric: str) -> ExperimentResult:
+    unit = "MB/s" if metric == "throughput" else "KIOPS"
+    res = ExperimentResult(
+        exp_id,
+        f"hardware-accelerated {unit}, {pool} mode",
+        ["workload", "bs"] + [FRAMEWORKS[f].label for f in fws],
+    )
+    idx = 0 if metric == "throughput" else 1
+    for rw in FIG_WORKLOADS:
+        for bs in FIG_BLOCK_SIZES:
+            row = [_MODE_LABEL[rw], bs]
+            for fw in fws:
+                row.append(round(_sweep(fw, pool)[(rw, bs)][idx], 1))
+            res.rows.append(row)
+    if pool == "replicated" and metric == "throughput":
+        checks = []
+        for rw, bs, paper_mb, paper_x in paper_data.FIG6_THROUGHPUT_CHECKPOINTS:
+            dk = _sweep("delibak", pool)[(rw, bs)][0]
+            d2 = _sweep("deliba2", pool)[(rw, bs)][0]
+            ratio = dk / d2 if d2 else 0.0
+            checks.append(
+                f"{_MODE_LABEL[rw]} {bs}: D-K {dk:.0f} MB/s (paper {paper_mb:.0f}), "
+                f"speedup {ratio:.2f}x (paper {paper_x}x)"
+            )
+        res.notes = "\n".join(checks)
+    return res
+
+
+def exp_fig6() -> ExperimentResult:
+    """Fig. 6: replication-mode hardware throughput, D1/D2/D-K."""
+    return _fig_hw("fig6", "replicated", ("deliba1", "deliba2", "delibak"), "throughput")
+
+
+def exp_fig7() -> ExperimentResult:
+    """Fig. 7: replication-mode hardware KIOPS, D1/D2/D-K."""
+    return _fig_hw("fig7", "replicated", ("deliba1", "deliba2", "delibak"), "kiops")
+
+
+def exp_fig8() -> ExperimentResult:
+    """Fig. 8: EC-mode hardware throughput, D2 vs D-K."""
+    return _fig_hw("fig8", "erasure", ("deliba2", "delibak"), "throughput")
+
+
+def exp_fig9() -> ExperimentResult:
+    """Fig. 9: EC-mode hardware KIOPS, D2 vs D-K."""
+    return _fig_hw("fig9", "erasure", ("deliba2", "delibak"), "kiops")
+
+
+# --- Table III: resources -------------------------------------------------------------------
+
+
+def exp_table3() -> ExperimentResult:
+    """Table III: U280 resource utilization (static kernels + DFX RMs)."""
+    from ..fpga import U280_SLR0, U280_TOTAL
+
+    res = ExperimentResult(
+        "table3",
+        "resource utilization on the U280 (counts and % of region)",
+        ["module", "region", "LUTs", "LUT%", "FF%", "BRAM%", "URAM%", "paper LUT%"],
+    )
+    for module, paper_row in paper_data.TABLE3_STATIC.items():
+        vec = KERNEL_SPECS[module].resources
+        pct = vec.utilization_of(U280_TOTAL)
+        res.rows.append(
+            [module, "full-chip", vec.lut, round(pct["lut"], 2), round(pct["ff"], 2),
+             round(pct["bram"], 2), round(pct["uram"], 2), paper_row[1]]
+        )
+    rm_to_kernel = {"rm1_list": "list", "rm2_tree": "tree", "rm3_uniform": "uniform"}
+    for rm, paper_row in paper_data.TABLE3_RMS.items():
+        vec = KERNEL_SPECS[rm_to_kernel[rm]].resources
+        pct = vec.utilization_of(U280_SLR0)
+        res.rows.append(
+            [rm, "SLR0", vec.lut, round(pct["lut"], 2), round(pct["ff"], 2),
+             round(pct["bram"], 2), round(pct["uram"], 2), paper_row[1]]
+        )
+    return res
+
+
+# --- Power ------------------------------------------------------------------------------------
+
+
+def exp_power() -> ExperimentResult:
+    """Section V-c: full-load power with and without partial reconfiguration."""
+    model = PowerModel()
+    all_accels = [KERNEL_SPECS[k].resources for k in KERNEL_SPECS]
+    one_rm = [KERNEL_SPECS[k].resources for k in ("straw", "straw2", "rs_encoder", "uniform")]
+    no_pr = full_load_power(model, all_accels)
+    with_pr = full_load_power(model, one_rm)
+    res = ExperimentResult(
+        "power",
+        "full-load card power (watts)",
+        ["scenario", "measured-W", "paper-W"],
+        [
+            ["full load, no partial reconfiguration", round(no_pr, 1), paper_data.POWER_NO_PR_W],
+            ["full load, with partial reconfiguration", round(with_pr, 1), paper_data.POWER_WITH_PR_W],
+        ],
+    )
+    return res
+
+
+# --- Real-world workloads ------------------------------------------------------------------------
+
+
+def exp_realworld() -> ExperimentResult:
+    """Abstract / Section V: OLAP + OLTP execution time, D2 vs D-K."""
+    res = ExperimentResult(
+        "realworld",
+        "real-world workload execution time (ms)",
+        ["workload", "D2", "D-K", "reduction", "paper"],
+    )
+    for wname in ("olap", "oltp"):
+        times = {}
+        for fw_name in ("deliba2", "delibak"):
+            fw = build_framework(FRAMEWORKS[fw_name], image_size=mib(256))
+            if wname == "olap":
+                proc = fw.env.process(run_olap(fw, OlapWorkload()))
+            else:
+                proc = fw.env.process(
+                    run_oltp(fw, OltpWorkload(), RngRegistry(1).stream("oltp"))
+                )
+            fw.env.run()
+            if not proc.ok:
+                raise proc.value
+            times[fw_name] = proc.value.elapsed_ms
+        reduction = (times["deliba2"] - times["delibak"]) / times["deliba2"]
+        res.rows.append(
+            [wname, round(times["deliba2"], 1), round(times["delibak"], 1),
+             f"{reduction:.0%}", f"~{paper_data.REALWORLD_REDUCTION:.0%}"]
+        )
+    return res
+
+
+# --- Abstract headline -----------------------------------------------------------------------------
+
+
+def exp_headline() -> ExperimentResult:
+    """Abstract: up to 3.2x IOPS and 3.45x throughput over DeLiBA-2."""
+    best_thr = 0.0
+    best_iops = 0.0
+    for rw in FIG_WORKLOADS:
+        for bs in FIG_BLOCK_SIZES:
+            dk = _sweep("delibak", "replicated")[(rw, bs)]
+            d2 = _sweep("deliba2", "replicated")[(rw, bs)]
+            if d2[0] > 0:
+                best_thr = max(best_thr, dk[0] / d2[0])
+            if d2[1] > 0:
+                best_iops = max(best_iops, dk[1] / d2[1])
+    return ExperimentResult(
+        "headline",
+        "abstract headline speedups over DeLiBA-2",
+        ["metric", "measured", "paper"],
+        [
+            ["max throughput speedup", round(best_thr, 2), paper_data.HEADLINE_THROUGHPUT_SPEEDUP],
+            ["max IOPS speedup", round(best_iops, 2), paper_data.HEADLINE_IOPS_SPEEDUP],
+        ],
+    )

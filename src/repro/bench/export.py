@@ -1,0 +1,30 @@
+"""Export experiment results as CSV (for plotting the paper's figures)."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable, Union
+
+from ..errors import BenchmarkError
+from .experiments import ExperimentResult
+
+
+def export_csv(result: ExperimentResult, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write one experiment's rows as CSV; returns the path written."""
+    path = pathlib.Path(path)
+    if not result.headers:
+        raise BenchmarkError(f"experiment {result.exp_id!r} has no headers")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow(row)
+    return path
+
+
+def export_all(results: Iterable[ExperimentResult], directory: Union[str, pathlib.Path]) -> list[pathlib.Path]:
+    """Write every experiment to ``<directory>/<exp_id>.csv``."""
+    directory = pathlib.Path(directory)
+    return [export_csv(r, directory / f"{r.exp_id}.csv") for r in results]

@@ -1,0 +1,86 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+Every table/figure reproduction prints its measured values next to these
+references; EXPERIMENTS.md records the deltas.  Units: microseconds for
+latency, MB/s for throughput, watts for power.
+"""
+
+from __future__ import annotations
+
+#: Table II — 4 kB end-to-end latency (us), hardware frameworks.
+TABLE2_REPLICATION = {
+    # framework: (seq-read, seq-write, rand-read, rand-write)
+    "deliba1": (65, 95, 130, 98),
+    "deliba2": (55, 75, 85, 82),
+    "delibak": (40, 52, 64, 68),
+}
+TABLE2_ERASURE = {
+    "deliba2": (48, 70, 82, 75),
+    "delibak": (38, 47, 59, 60),
+}
+
+#: Fig. 3/4 — software baselines, 4 kB latency (us): the text reports the
+#: same headline movement for both replication and EC modes.
+FIG3_SW_LATENCY = {
+    # framework: (rand-read, rand-write)
+    "deliba2-sw": (130, 98),
+    "delibak-sw": (85, 80),
+}
+
+#: Fig. 3/4 — software-baseline EC throughput gains at 4 kB (x over D2-sw).
+FIG4_EC_THROUGHPUT_GAIN = {
+    "randwrite": 2.88,
+    "randread": 2.4,
+}
+
+#: Fig. 6 — hardware replication throughput checkpoints (MB/s) and
+#: speedups over DeLiBA-2 (paper Section V-b).
+FIG6_THROUGHPUT_CHECKPOINTS = [
+    # (workload, bs, delibak MB/s, speedup over deliba2)
+    ("randwrite", 4096, 145.0, 3.45),
+    ("randwrite", 8192, 170.0, 2.50),
+    ("write", 65536, 440.0, 2.38),
+    ("write", 131072, 680.0, 2.00),
+]
+
+#: Abstract headline: up to 3.2x IOPS and 3.45x throughput.
+HEADLINE_IOPS_SPEEDUP = 3.2
+HEADLINE_THROUGHPUT_SPEEDUP = 3.45
+
+#: Related-work comparison points (Section VI).
+MAX_KIOPS_DELIBAK = 59.0
+P99_LATENCY_US_DELIBAK = 40.0
+
+#: Table I — per-kernel data (encoded in repro.fpga.accelerators too;
+#: repeated here in paper layout for the bench report).
+TABLE1 = {
+    # kernel: (sw_exec_us, contribution, cycles, vivado_lat_us, hw_exec_us,
+    #          sloc_c, sloc_verilog)
+    "straw": (55, 0.80, (105, 105), (0.345, 0.355), 49, 256, 880),
+    "straw2": (48, 0.80, (155, 155), (0.315, 0.315), 51, 256, 806),
+    "list": (35, 0.80, (40, 40), (0.161, 0.161), 56, 197, 770),
+    "tree": (22, 0.85, (130, 130), (0.115, 0.115), 31, 241, 780),
+    "uniform": (9, 0.72, (40, 50), (0.180, 0.180), 19, 237, 745),
+    "rs_encoder": (65, 0.70, (150, 150), (0.345, 0.345), 85, 280, 960),
+}
+
+#: Table III — utilization percentages as printed in the paper.
+TABLE3_STATIC = {
+    # module: (lut_count, lut_pct, ff_pct, bram_pct, uram_pct)
+    "straw": (78_555, 6.2, 8.59, 9.42, 2.71),
+    "straw2": (82_334, 6.31, 12.01, 8.18, 3.65),
+    "rs_encoder": (92_355, 7.08, 22.32, 10.66, 5.42),
+}
+TABLE3_RMS = {
+    # rm: (lut_count, lut_pct_of_slr0, ff_pct, bram_pct, uram_pct)
+    "rm1_list": (52_335, 14.74, 12.75, 17.35, 6.88),
+    "rm2_tree": (56_551, 15.93, 13.45, 16.73, 8.13),
+    "rm3_uniform": (62_456, 17.59, 15.45, 15.92, 8.70),
+}
+
+#: Section V-c power scenarios (watts).
+POWER_NO_PR_W = 195.0
+POWER_WITH_PR_W = 170.0
+
+#: Abstract: ~30% execution-time reduction for real-world workloads.
+REALWORLD_REDUCTION = 0.30

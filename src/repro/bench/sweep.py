@@ -1,0 +1,84 @@
+"""Generic parameter sweeps: framework x workload x block size x depth.
+
+The per-figure experiments fix their grids to the paper's; this module
+is the user-facing tool for exploring beyond them — any cartesian
+combination of frameworks, rw modes, block sizes, and queue depths, with
+results as an :class:`ExperimentResult` (render/CSV-export as usual).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..deliba import FRAMEWORKS, PoolSpec, framework_by_name, run_job_on
+from ..errors import BenchmarkError
+from ..units import kib, mib
+from ..workloads import FioJob
+from .experiments import ExperimentResult
+
+
+@dataclass
+class SweepSpec:
+    """The grid to explore."""
+
+    frameworks: Sequence[str] = ("deliba2", "delibak")
+    rw_modes: Sequence[str] = ("randread", "randwrite")
+    block_sizes: Sequence[int] = (kib(4), kib(64))
+    iodepths: Sequence[int] = (1, 4)
+    pool: str = "replicated"
+    nrequests: int = 80
+    working_set: int = mib(64)
+    seed: int = 0
+
+    def __post_init__(self):
+        for fw in self.frameworks:
+            if fw not in FRAMEWORKS:
+                raise BenchmarkError(f"unknown framework {fw!r}")
+        if not self.frameworks or not self.rw_modes or not self.block_sizes or not self.iodepths:
+            raise BenchmarkError("sweep axes must all be non-empty")
+
+    @property
+    def cells(self) -> int:
+        """Number of simulation runs the sweep will perform."""
+        return (
+            len(self.frameworks) * len(self.rw_modes) * len(self.block_sizes) * len(self.iodepths)
+        )
+
+
+def run_sweep(spec: Optional[SweepSpec] = None) -> ExperimentResult:
+    """Execute the grid; one row per cell."""
+    spec = spec or SweepSpec()
+    res = ExperimentResult(
+        "sweep",
+        f"parameter sweep ({spec.cells} cells, pool={spec.pool})",
+        ["framework", "rw", "bs", "iodepth", "lat-us", "p99-us", "MB/s", "KIOPS"],
+    )
+    pool_spec = PoolSpec(kind=spec.pool)
+    for fw_name in spec.frameworks:
+        cfg = framework_by_name(fw_name)
+        for rw in spec.rw_modes:
+            for bs in spec.block_sizes:
+                for depth in spec.iodepths:
+                    job = FioJob(
+                        f"sweep-{rw}-{bs}-{depth}",
+                        rw,
+                        bs=bs,
+                        iodepth=depth,
+                        nrequests=spec.nrequests,
+                        size=spec.working_set,
+                    )
+                    r = run_job_on(cfg, job, pool_spec=pool_spec, seed=spec.seed)
+                    res.rows.append(
+                        [
+                            cfg.label,
+                            rw,
+                            bs,
+                            depth,
+                            round(r.mean_latency_us(), 1),
+                            round(r.p99_latency_us(), 1),
+                            round(r.throughput_mb_s(), 1),
+                            round(r.kiops(), 2),
+                        ]
+                    )
+    return res

@@ -1,0 +1,23 @@
+"""Linux block layer model: bios, requests, elevators, blk-mq, and DMQ.
+
+DMQ is DeLiBA-K's modified multi-queue layer: elevator bypass, per-core
+hardware queues, and a slim submit path (paper Section III-B).
+"""
+
+from .bio import SECTOR, Bio, IoOp, Request
+from .blk_mq import DMQ_CONFIG, BlkMqConfig, BlockLayer, HardwareContext
+from .scheduler import MqDeadlineScheduler, NoneScheduler, scheduler_factory
+
+__all__ = [
+    "Bio",
+    "BlkMqConfig",
+    "BlockLayer",
+    "DMQ_CONFIG",
+    "HardwareContext",
+    "IoOp",
+    "MqDeadlineScheduler",
+    "NoneScheduler",
+    "Request",
+    "SECTOR",
+    "scheduler_factory",
+]

@@ -1,0 +1,120 @@
+"""Block-layer I/O units: bios and requests.
+
+A :class:`Bio` is one contiguous block I/O as issued by an API engine; a
+:class:`Request` is what the block layer hands to a driver — one or more
+merged bios.  Sectors are 512 bytes, as in Linux.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..errors import BlockLayerError
+
+SECTOR = 512
+
+_req_ids = itertools.count(1)
+
+
+class IoOp(Enum):
+    """Direction of a block I/O."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class Bio:
+    """One contiguous block I/O."""
+
+    op: IoOp
+    sector: int
+    size: int  # bytes
+    data: Optional[bytes] = None
+    #: Access-pattern hint propagated to the media model.
+    sequential: bool = False
+
+    def __post_init__(self):
+        if self.sector < 0:
+            raise BlockLayerError(f"negative sector {self.sector}")
+        if self.size <= 0 or self.size % SECTOR:
+            raise BlockLayerError(f"bio size must be a positive sector multiple, got {self.size}")
+        if self.op == IoOp.WRITE and self.data is not None and len(self.data) != self.size:
+            raise BlockLayerError(f"data length {len(self.data)} != bio size {self.size}")
+
+    @property
+    def end_sector(self) -> int:
+        """First sector after this bio."""
+        return self.sector + self.size // SECTOR
+
+    @property
+    def offset(self) -> int:
+        """Byte offset on the device."""
+        return self.sector * SECTOR
+
+
+@dataclass
+class Request:
+    """A (possibly merged) request queued to a driver."""
+
+    bios: list[Bio]
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    submitted_at: int = -1
+    dispatched_at: int = -1
+    completed_at: int = -1
+    error: str = ""
+    #: Completion event, created by the block layer at submit time and
+    #: fired by the driver (value = the request itself).
+    completion: Optional[object] = None
+
+    def __post_init__(self):
+        if not self.bios:
+            raise BlockLayerError("request needs at least one bio")
+        first = self.bios[0]
+        if any(b.op != first.op for b in self.bios):
+            raise BlockLayerError("cannot mix read and write bios in one request")
+
+    @property
+    def op(self) -> IoOp:
+        """Direction (uniform across merged bios)."""
+        return self.bios[0].op
+
+    @property
+    def sector(self) -> int:
+        """Starting sector."""
+        return self.bios[0].sector
+
+    @property
+    def size(self) -> int:
+        """Total bytes."""
+        return sum(b.size for b in self.bios)
+
+    @property
+    def sequential(self) -> bool:
+        """Pattern hint (true if the head bio is sequential)."""
+        return self.bios[0].sequential
+
+    def data(self) -> Optional[bytes]:
+        """Concatenated write payload (None for reads or absent data)."""
+        if self.op == IoOp.READ:
+            return None
+        parts = [b.data for b in self.bios]
+        if any(p is None for p in parts):
+            return None
+        return b"".join(parts)
+
+    def can_merge(self, bio: Bio) -> bool:
+        """Back-merge test: same op and physically contiguous."""
+        return bio.op == self.op and self.bios[-1].end_sector == bio.sector
+
+    def merge(self, bio: Bio) -> None:
+        """Append a contiguous bio (caller must check :meth:`can_merge`)."""
+        if not self.can_merge(bio):
+            raise BlockLayerError(
+                f"cannot merge bio at sector {bio.sector} into request ending at "
+                f"{self.bios[-1].end_sector}"
+            )
+        self.bios.append(bio)

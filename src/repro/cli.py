@@ -1,0 +1,184 @@
+"""Command-line interface: run jobs, experiments, and traces.
+
+Usage (after install)::
+
+    python -m repro frameworks
+    python -m repro fio --framework delibak --rw randread --bs 4096 --iodepth 4
+    python -m repro experiment table2
+    python -m repro trace --framework delibak --rw randwrite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench import experiments
+from .deliba import FRAMEWORKS, PoolSpec, build_framework, framework_by_name, run_job_on
+from .units import kib
+from .workloads import FioJob
+
+#: Experiment name -> callable.
+EXPERIMENTS = {
+    "fig3": experiments.exp_fig3,
+    "fig4": experiments.exp_fig4,
+    "fig6": experiments.exp_fig6,
+    "fig7": experiments.exp_fig7,
+    "fig8": experiments.exp_fig8,
+    "fig9": experiments.exp_fig9,
+    "table1": experiments.exp_table1,
+    "table2": experiments.exp_table2,
+    "table3": experiments.exp_table3,
+    "power": experiments.exp_power,
+    "realworld": experiments.exp_realworld,
+    "headline": experiments.exp_headline,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeLiBA-K reproduction: simulated storage-stack experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("frameworks", help="list the stack generations")
+
+    fio = sub.add_parser("fio", help="run one fio-style job")
+    fio.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
+    fio.add_argument("--rw", default="randread",
+                     choices=["read", "write", "randread", "randwrite", "randrw"])
+    fio.add_argument("--bs", type=int, default=kib(4), help="block size in bytes")
+    fio.add_argument("--iodepth", type=int, default=4)
+    fio.add_argument("--nrequests", type=int, default=200)
+    fio.add_argument("--pool", default="replicated", choices=["replicated", "erasure"])
+    fio.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="reproduce one paper table/figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+
+    sweep = sub.add_parser("sweep", help="parameter sweep over frameworks/workloads")
+    sweep.add_argument("--frameworks", nargs="+", default=["deliba2", "delibak"],
+                       choices=sorted(FRAMEWORKS))
+    sweep.add_argument("--rw", nargs="+", default=["randread", "randwrite"])
+    sweep.add_argument("--bs", nargs="+", type=int, default=[kib(4), kib(64)])
+    sweep.add_argument("--iodepth", nargs="+", type=int, default=[1, 4])
+    sweep.add_argument("--pool", default="replicated", choices=["replicated", "erasure"])
+    sweep.add_argument("--csv", help="also write the grid to this CSV path")
+
+    replay = sub.add_parser("replay", help="replay an I/O trace file")
+    replay.add_argument("trace_file")
+    replay.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
+    replay.add_argument("--iodepth", type=int, default=4)
+
+    trace = sub.add_parser("trace", help="six-stage I/O lifecycle breakdown")
+    trace.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
+    trace.add_argument("--rw", default="randwrite",
+                       choices=["read", "write", "randread", "randwrite"])
+    trace.add_argument("--bs", type=int, default=kib(4))
+    trace.add_argument("--nrequests", type=int, default=50)
+    return parser
+
+
+def _cmd_frameworks() -> int:
+    print(f"{'name':14s} {'label':9s} {'api':10s} {'driver':9s} {'tcp':14s} hw")
+    for name in sorted(FRAMEWORKS):
+        cfg = FRAMEWORKS[name]
+        print(
+            f"{name:14s} {cfg.label:9s} {cfg.api:10s} {cfg.driver:9s} "
+            f"{cfg.client_stack.name:14s} {'yes' if cfg.hardware else 'no'}"
+        )
+    return 0
+
+
+def _cmd_fio(args) -> int:
+    cfg = framework_by_name(args.framework)
+    job = FioJob("cli", args.rw, bs=args.bs, iodepth=args.iodepth, nrequests=args.nrequests)
+    pool = PoolSpec(kind=args.pool)
+    result = run_job_on(cfg, job, pool_spec=pool, seed=args.seed)
+    print(f"{cfg.label}: {args.rw} bs={args.bs} iodepth={args.iodepth} x{result.ios}")
+    print(f"  mean latency : {result.mean_latency_us():9.1f} us")
+    for q in (50, 90, 99, 99.9):
+        print(f"  p{q:<12}: {result.percentile_latency_us(q):9.1f} us")
+    print(f"  throughput   : {result.throughput_mb_s():9.1f} MB/s")
+    print(f"  KIOPS        : {result.kiops():9.2f}")
+    return 0
+
+
+def _cmd_experiment(name: str) -> int:
+    names = sorted(EXPERIMENTS) if name == "all" else [name]
+    for n in names:
+        print(EXPERIMENTS[n]().render())
+        print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .bench import export_csv
+    from .bench.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        frameworks=args.frameworks,
+        rw_modes=args.rw,
+        block_sizes=args.bs,
+        iodepths=args.iodepth,
+        pool=args.pool,
+    )
+    result = run_sweep(spec)
+    print(result.render())
+    if args.csv:
+        path = export_csv(result, args.csv)
+        print(f"[csv written to {path}]")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .workloads import load_trace
+
+    cfg = framework_by_name(args.framework)
+    fw = build_framework(cfg)
+    bios = load_trace(args.trace_file)
+    proc = fw.env.process(fw.engine.run(bios, args.iodepth))
+    fw.env.run()
+    result = proc.value
+    print(f"{cfg.label}: replayed {result.ios} I/Os from {args.trace_file}")
+    print(f"  mean latency : {result.mean_latency_us():9.1f} us")
+    print(f"  throughput   : {result.throughput_mb_s():9.1f} MB/s")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    cfg = framework_by_name(args.framework)
+    if not cfg.hardware or cfg.driver != "uifd":
+        print("trace: lifecycle stages are instrumented for the delibak stack", file=sys.stderr)
+        return 2
+    fw = build_framework(cfg, trace=True)
+    job = FioJob("trace", args.rw, bs=args.bs, iodepth=1, nrequests=args.nrequests)
+    proc = fw.env.process(fw.run_fio(job))
+    fw.env.run()
+    result = proc.value
+    print(f"{result.ios} x {args.rw} bs={args.bs}: mean {result.mean_latency_us():.1f} us")
+    print(fw.tracer.breakdown_table())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "frameworks":
+        return _cmd_frameworks()
+    if args.command == "fio":
+        return _cmd_fio(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.name)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,238 @@
+"""The CRUSH map: a weighted hierarchy of buckets over storage devices.
+
+A :class:`CrushMap` owns devices (ids >= 0) and buckets (ids < 0), each
+bucket tagged with a hierarchy type (host/rack/root).  Weight changes
+propagate up the tree, and devices can be marked out (reweight 0) or
+partially reweighted — the inputs the paper's cluster-resize scenarios
+(DFX accelerator swap) react to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..errors import CrushError
+from .buckets import Bucket, BucketAlg, make_bucket
+from .types import WEIGHT_ONE, DeviceClass, weight_fp
+
+
+@dataclass
+class Device:
+    """A leaf storage device (OSD) in the CRUSH hierarchy."""
+
+    dev_id: int
+    name: str
+    weight: int  # 16.16 fixed point
+    device_class: DeviceClass = DeviceClass.SSD
+    #: Override probability in [0, 0x10000]; 0 means "out".
+    reweight: int = WEIGHT_ONE
+
+    @property
+    def is_out(self) -> bool:
+        """True when the device takes no data."""
+        return self.reweight == 0
+
+
+class CrushMap:
+    """Devices + buckets + type table, with weight propagation."""
+
+    def __init__(self):
+        self.devices: dict[int, Device] = {}
+        self.buckets: dict[int, Bucket] = {}
+        self.bucket_types: dict[int, int] = {}  # bucket id -> type id
+        self.type_names: dict[int, str] = {0: "osd"}
+        self._next_bucket_id = -1
+        self._parent: dict[int, int] = {}  # item id -> containing bucket id
+
+    # -- construction ---------------------------------------------------------
+
+    def add_device(self, name: str, weight: float = 1.0, device_class: DeviceClass = DeviceClass.SSD) -> int:
+        """Register a new device; returns its id."""
+        dev_id = len(self.devices)
+        self.devices[dev_id] = Device(dev_id, name, weight_fp(weight), device_class)
+        return dev_id
+
+    def add_bucket(
+        self,
+        alg: BucketAlg,
+        type_id: int,
+        items: Sequence[int],
+        name: str = "",
+        weights: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Create a bucket of ``alg`` at hierarchy level ``type_id``.
+
+        Item weights default to each child's current subtree weight.
+        """
+        if weights is None:
+            weights = [self.weight_of(i) for i in items]
+        bucket_id = self._next_bucket_id
+        self._next_bucket_id -= 1
+        bucket = make_bucket(alg, bucket_id, items, list(weights), name or f"bucket{bucket_id}")
+        self.buckets[bucket_id] = bucket
+        self.bucket_types[bucket_id] = type_id
+        for item in items:
+            if item in self._parent:
+                raise CrushError(f"item {item} already belongs to bucket {self._parent[item]}")
+            self._parent[item] = bucket_id
+        return bucket_id
+
+    def register_type(self, type_id: int, name: str) -> None:
+        """Name a hierarchy level (host, rack, root, ...)."""
+        self.type_names[type_id] = name
+
+    # -- queries ----------------------------------------------------------------
+
+    def weight_of(self, item: int) -> int:
+        """Fixed-point weight of a device or bucket subtree."""
+        if item >= 0:
+            if item not in self.devices:
+                raise CrushError(f"unknown device {item}")
+            return self.devices[item].weight
+        if item not in self.buckets:
+            raise CrushError(f"unknown bucket {item}")
+        return self.buckets[item].weight
+
+    def type_of(self, item: int) -> int:
+        """Hierarchy type id of an item (devices are type 0)."""
+        if item >= 0:
+            return 0
+        return self.bucket_types[item]
+
+    def parent_of(self, item: int) -> Optional[int]:
+        """Containing bucket id, or None for a root."""
+        return self._parent.get(item)
+
+    def ancestors_of(self, item: int) -> list[int]:
+        """Chain of bucket ids from direct parent to root."""
+        chain = []
+        cur = self._parent.get(item)
+        while cur is not None:
+            chain.append(cur)
+            cur = self._parent.get(cur)
+        return chain
+
+    def roots(self) -> list[int]:
+        """Bucket ids with no parent."""
+        return [bid for bid in self.buckets if bid not in self._parent]
+
+    def devices_under(self, bucket_id: int) -> list[int]:
+        """All device ids in the subtree rooted at ``bucket_id``."""
+        out: list[int] = []
+        stack = [bucket_id]
+        while stack:
+            node = stack.pop()
+            if node >= 0:
+                out.append(node)
+            else:
+                stack.extend(self.buckets[node].items)
+        return sorted(out)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def reweight_device(self, dev_id: int, weight: float) -> None:
+        """Change a device's CRUSH weight and propagate up the hierarchy."""
+        dev = self.devices.get(dev_id)
+        if dev is None:
+            raise CrushError(f"unknown device {dev_id}")
+        dev.weight = weight_fp(weight)
+        self._propagate(dev_id, dev.weight)
+
+    def mark_out(self, dev_id: int) -> None:
+        """Mark a device out: it stops receiving data (reweight 0)."""
+        self.devices[dev_id].reweight = 0
+
+    def mark_in(self, dev_id: int) -> None:
+        """Return a device to service at full reweight."""
+        self.devices[dev_id].reweight = WEIGHT_ONE
+
+    def set_reweight(self, dev_id: int, fraction: float) -> None:
+        """Partial override in [0, 1] (Ceph's ``osd reweight``)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise CrushError(f"reweight must be in [0, 1], got {fraction}")
+        self.devices[dev_id].reweight = int(round(fraction * WEIGHT_ONE))
+
+    def add_device_to_bucket(self, bucket_id: int, dev_id: int) -> None:
+        """Insert an existing device into a bucket and fix ancestor weights."""
+        if dev_id in self._parent:
+            raise CrushError(f"device {dev_id} already placed")
+        bucket = self.buckets[bucket_id]
+        bucket.add_item(dev_id, self.devices[dev_id].weight)
+        self._parent[dev_id] = bucket_id
+        self._bubble_weights(bucket_id)
+
+    def remove_item(self, item: int) -> None:
+        """Detach a device or bucket from its parent, fixing weights."""
+        parent = self._parent.pop(item, None)
+        if parent is None:
+            raise CrushError(f"item {item} has no parent")
+        self.buckets[parent].remove_item(item)
+        self._bubble_weights(parent)
+
+    def _propagate(self, item: int, new_weight: int) -> None:
+        parent = self._parent.get(item)
+        while parent is not None:
+            bucket = self.buckets[parent]
+            bucket.adjust_item_weight(item, new_weight)
+            item = parent
+            new_weight = bucket.weight
+            parent = self._parent.get(parent)
+
+    def _bubble_weights(self, bucket_id: int) -> None:
+        item = bucket_id
+        parent = self._parent.get(item)
+        while parent is not None:
+            bucket = self.buckets[parent]
+            bucket.adjust_item_weight(item, self.buckets[item].weight)
+            item = parent
+            parent = self._parent.get(parent)
+
+    def __repr__(self) -> str:
+        return f"<CrushMap {len(self.devices)} devices, {len(self.buckets)} buckets>"
+
+
+def build_flat_cluster(
+    num_devices: int,
+    alg: BucketAlg = BucketAlg.STRAW2,
+    weights: Optional[Iterable[float]] = None,
+    device_class: DeviceClass = DeviceClass.SSD,
+) -> tuple[CrushMap, int]:
+    """One root bucket containing ``num_devices`` devices.
+
+    Returns (map, root bucket id).
+    """
+    cmap = CrushMap()
+    cmap.register_type(10, "root")
+    ws = list(weights) if weights is not None else [1.0] * num_devices
+    if len(ws) != num_devices:
+        raise CrushError(f"{num_devices} devices but {len(ws)} weights")
+    devs = [cmap.add_device(f"osd.{i}", ws[i], device_class) for i in range(num_devices)]
+    root = cmap.add_bucket(alg, 10, devs, name="root")
+    return cmap, root
+
+
+def build_two_level_cluster(
+    num_hosts: int,
+    devices_per_host: int,
+    host_alg: BucketAlg = BucketAlg.STRAW2,
+    root_alg: BucketAlg = BucketAlg.STRAW2,
+    device_weight: float = 1.0,
+) -> tuple[CrushMap, int]:
+    """root -> hosts -> devices, the topology of the paper's testbed.
+
+    The paper's software testbed is 2 servers x 16 OSDs (32 OSDs total);
+    ``build_two_level_cluster(2, 16)`` reproduces it.
+    """
+    cmap = CrushMap()
+    cmap.register_type(1, "host")
+    cmap.register_type(10, "root")
+    host_ids = []
+    for h in range(num_hosts):
+        devs = [
+            cmap.add_device(f"osd.{h * devices_per_host + d}", device_weight)
+            for d in range(devices_per_host)
+        ]
+        host_ids.append(cmap.add_bucket(host_alg, 1, devs, name=f"host{h}"))
+    root = cmap.add_bucket(root_alg, 10, host_ids, name="root")
+    return cmap, root

@@ -1,0 +1,128 @@
+"""CRUSH map serialization: dump/load in a crushtool-like dict format.
+
+Lets cluster layouts be stored, diffed, and shipped (e.g. to the FPGA's
+CRUSH accelerator configuration, which the paper's QDMA customization
+carries as "Ceph cluster-level rules defined in the CRUSH map").
+The format is plain JSON-compatible dicts; ``loads(dumps(m))`` is an
+exact round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import CrushError
+from .buckets import BucketAlg, make_bucket
+from .map import CrushMap, Device
+from .rules import CrushRule, Step, StepOp
+from .types import DeviceClass
+
+FORMAT_VERSION = 1
+
+
+def dump_map(cmap: CrushMap) -> dict[str, Any]:
+    """CrushMap -> plain dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "devices": [
+            {
+                "id": dev.dev_id,
+                "name": dev.name,
+                "weight": dev.weight,
+                "class": dev.device_class.name.lower(),
+                "reweight": dev.reweight,
+            }
+            for dev in cmap.devices.values()
+        ],
+        "types": [{"id": tid, "name": name} for tid, name in sorted(cmap.type_names.items())],
+        "buckets": [
+            {
+                "id": bucket.id,
+                "name": bucket.name,
+                "alg": bucket.alg.name.lower(),
+                "type": cmap.bucket_types[bucket.id],
+                "items": list(bucket.items),
+                "weights": list(bucket.weights),
+            }
+            for bucket in cmap.buckets.values()
+        ],
+    }
+
+
+def dump_rule(rule: CrushRule) -> dict[str, Any]:
+    """CrushRule -> plain dict."""
+    return {
+        "rule_id": rule.rule_id,
+        "name": rule.name,
+        "device_class": rule.device_class.name.lower() if rule.device_class else None,
+        "steps": [
+            {"op": step.op.value, "arg": step.arg, "num": step.num, "type": step.type_id}
+            for step in rule.steps
+        ],
+    }
+
+
+def dumps(cmap: CrushMap, rules: list[CrushRule] = ()) -> str:
+    """Map (+ rules) to a JSON string."""
+    return json.dumps({"map": dump_map(cmap), "rules": [dump_rule(r) for r in rules]}, indent=2)
+
+
+def load_map(data: dict[str, Any]) -> CrushMap:
+    """Plain dict -> CrushMap (inverse of :func:`dump_map`)."""
+    if data.get("version") != FORMAT_VERSION:
+        raise CrushError(f"unsupported crush map version {data.get('version')!r}")
+    cmap = CrushMap()
+    for t in data.get("types", []):
+        cmap.register_type(t["id"], t["name"])
+    for d in sorted(data["devices"], key=lambda x: x["id"]):
+        dev = Device(
+            d["id"],
+            d["name"],
+            d["weight"],
+            DeviceClass[d["class"].upper()],
+            d.get("reweight", 0x10000),
+        )
+        if d["id"] != len(cmap.devices):
+            raise CrushError(f"non-contiguous device ids at {d['id']}")
+        cmap.devices[d["id"]] = dev
+    # Rebuild buckets bottom-up: a bucket can only be created once its
+    # child buckets exist (weights reference subtree weights).
+    pending = {b["id"]: b for b in data["buckets"]}
+    while pending:
+        progress = False
+        for bid, b in list(pending.items()):
+            if any(item < 0 and item in pending for item in b["items"]):
+                continue
+            bucket = make_bucket(
+                BucketAlg[b["alg"].upper()], bid, b["items"], b["weights"], b["name"]
+            )
+            cmap.buckets[bid] = bucket
+            cmap.bucket_types[bid] = b["type"]
+            cmap._next_bucket_id = min(cmap._next_bucket_id, bid - 1)
+            for item in b["items"]:
+                cmap._parent[item] = bid
+            del pending[bid]
+            progress = True
+        if not progress:
+            raise CrushError(f"cyclic bucket references: {sorted(pending)}")
+    return cmap
+
+
+def load_rule(data: dict[str, Any]) -> CrushRule:
+    """Plain dict -> CrushRule."""
+    steps = tuple(
+        Step(StepOp(s["op"]), arg=s["arg"], num=s["num"], type_id=s["type"])
+        for s in data["steps"]
+    )
+    cls = data.get("device_class")
+    return CrushRule(
+        data["rule_id"], data["name"], steps,
+        DeviceClass[cls.upper()] if cls else None,
+    )
+
+
+def loads(text: str) -> tuple[CrushMap, list[CrushRule]]:
+    """JSON string -> (map, rules)."""
+    data = json.loads(text)
+    return load_map(data["map"]), [load_rule(r) for r in data.get("rules", [])]

@@ -1,0 +1,42 @@
+"""DeLiBA framework generations and end-to-end stack assembly.
+
+The core of the reproduction: compose the substrates into the four
+storage stacks the paper compares (software Ceph, DeLiBA-1, DeLiBA-2,
+DeLiBA-K plus the two software baselines) and run fio jobs through them.
+"""
+
+from .config import (
+    DELIBA1,
+    DELIBA2,
+    DELIBA2_SW,
+    DELIBAK,
+    DELIBAK_SW,
+    FRAMEWORKS,
+    FrameworkConfig,
+    SOFTWARE_CEPH,
+    framework_by_name,
+)
+from .framework import (
+    FrameworkInstance,
+    PLACEMENT_KERNEL,
+    PoolSpec,
+    build_framework,
+    run_job_on,
+)
+
+__all__ = [
+    "DELIBA1",
+    "DELIBA2",
+    "DELIBA2_SW",
+    "DELIBAK",
+    "DELIBAK_SW",
+    "FRAMEWORKS",
+    "FrameworkConfig",
+    "FrameworkInstance",
+    "PLACEMENT_KERNEL",
+    "PoolSpec",
+    "SOFTWARE_CEPH",
+    "build_framework",
+    "framework_by_name",
+    "run_job_on",
+]

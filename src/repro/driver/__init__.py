@@ -1,0 +1,19 @@
+"""Block-device drivers: UIFD (DeLiBA-K), NBD (DeLiBA-1/2), stock RBD."""
+
+from .cmac_monitor import CmacNetworkMonitor, FlowStats
+from .nbd import DELIBA1_NBD, DELIBA2_NBD, NbdConfig, NbdDriver
+from .rbd_kmod import RbdKmodConfig, RbdKmodDriver
+from .uifd import UifdConfig, UifdDriver
+
+__all__ = [
+    "CmacNetworkMonitor",
+    "DELIBA1_NBD",
+    "FlowStats",
+    "DELIBA2_NBD",
+    "NbdConfig",
+    "NbdDriver",
+    "RbdKmodConfig",
+    "RbdKmodDriver",
+    "UifdConfig",
+    "UifdDriver",
+]

@@ -1,0 +1,52 @@
+"""Shared helper: charge software CRUSH placement cost per object op.
+
+Ceph clients cache PG -> OSD mappings per map epoch, so the profiled
+CRUSH cost (paper Table I) is paid on cache misses (first touch of a PG,
+or after an epoch change); hits pay only a hash + lookup.  The helper
+warms the client's placement cache as a side effect, so the subsequent
+data op resolves the same mapping for free.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..blk import Request
+from ..host.cpu import CpuCore
+from ..osd.rbd import RBDImage
+from ..units import us
+
+#: Object-name hash + PG lookup on a warm cache.
+PLACEMENT_HIT_NS = us(0.8)
+
+
+def objects_spanned(image: RBDImage, request: Request) -> range:
+    """Object indices a block request touches."""
+    first = request.bios[0].offset // image.object_size
+    last = (request.bios[0].offset + request.size - 1) // image.object_size
+    return range(first, last + 1)
+
+
+def charge_sw_placement(
+    core: CpuCore,
+    image: RBDImage,
+    request: Request,
+    miss_ns: int,
+    hit_ns: int = PLACEMENT_HIT_NS,
+    cached: bool = True,
+) -> Generator:
+    """Process: run placement for each object, charging miss/hit costs.
+
+    ``cached=False`` models the DeLiBA-1/2-era software path (librbd-style
+    per-op CRUSH, the 80%-of-runtime profile of paper Table I); DeLiBA-K's
+    UIFD keeps a per-epoch placement cache and pays the full cost only on
+    misses.
+    """
+    client = image.client
+    for idx in objects_spanned(image, request):
+        client.compute_placement(image.pool, image.object_name(idx))
+        if cached:
+            cost = miss_ns if client.placement.last_was_miss else hit_ns
+        else:
+            cost = miss_ns
+        yield from core.run(cost)

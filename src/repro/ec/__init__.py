@@ -1,0 +1,52 @@
+"""Erasure coding: GF(2^8) Reed-Solomon plus a replication codec.
+
+The data-durability layer of the simulated Ceph substrate, and the
+workload of the paper's Reed-Solomon Encoder RTL accelerator.
+"""
+
+from .gf256 import (
+    PRIMITIVE_POLY,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_add_array,
+    gf_mul_array,
+    gf_pow,
+    gf_sub,
+)
+from .matrix import (
+    cauchy,
+    gauss_jordan_invert,
+    identity,
+    systematic_cauchy,
+    systematic_vandermonde,
+    vandermonde,
+)
+from .reed_solomon import ECProfile, ReedSolomon
+from .replication import ReplicationCodec
+from .stripe import StripeLayout
+
+__all__ = [
+    "ECProfile",
+    "PRIMITIVE_POLY",
+    "ReedSolomon",
+    "ReplicationCodec",
+    "StripeLayout",
+    "cauchy",
+    "gauss_jordan_invert",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_matmul",
+    "gf_mul",
+    "gf_mul_add_array",
+    "gf_mul_array",
+    "gf_pow",
+    "gf_sub",
+    "identity",
+    "systematic_cauchy",
+    "systematic_vandermonde",
+    "vandermonde",
+]

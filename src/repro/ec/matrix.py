@@ -1,0 +1,125 @@
+"""Matrix algebra over GF(2^8): construction and Gauss-Jordan inversion.
+
+Provides the generator matrices for Reed-Solomon codes (Vandermonde in
+systematic form, and Cauchy) and the inversion routine the decoder uses
+to solve for lost shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ErasureCodingError
+from .gf256 import gf_inv, gf_mul, gf_pow
+
+
+def identity(n: int) -> np.ndarray:
+    """n x n identity over GF(2^8)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Raw Vandermonde matrix V[i, j] = i**j (field exponentiation)."""
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf_pow(i, j)
+    return out
+
+
+def cauchy(m: int, k: int) -> np.ndarray:
+    """Cauchy parity block C[i, j] = 1 / (x_i + y_j), x_i = k+i, y_j = j.
+
+    Any square submatrix of a Cauchy matrix is invertible, which makes
+    [I; C] a valid systematic generator without the row-reduction step
+    Vandermonde needs.
+    """
+    if m + k > 256:
+        raise ErasureCodingError(f"cauchy needs m+k <= 256, got {m}+{k}")
+    out = np.zeros((m, k), dtype=np.uint8)
+    for i in range(m):
+        for j in range(k):
+            out[i, j] = gf_inv((k + i) ^ j)
+    return out
+
+
+def gauss_jordan_invert(mat: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8).
+
+    Raises :class:`ErasureCodingError` when the matrix is singular (which
+    the RS decoder translates into "data unrecoverable").
+    """
+    mat = np.asarray(mat, dtype=np.uint8)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ErasureCodingError(f"cannot invert non-square matrix {mat.shape}")
+    n = mat.shape[0]
+    work = mat.astype(np.int32)
+    inv = np.eye(n, dtype=np.int32)
+    for col in range(n):
+        # Find a pivot.
+        pivot = -1
+        for row in range(col, n):
+            if work[row, col] != 0:
+                pivot = row
+                break
+        if pivot < 0:
+            raise ErasureCodingError(f"singular matrix (no pivot in column {col})")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        # Normalize the pivot row.
+        scale = gf_inv(int(work[col, col]))
+        for j in range(n):
+            work[col, j] = gf_mul(int(work[col, j]), scale)
+            inv[col, j] = gf_mul(int(inv[col, j]), scale)
+        # Eliminate the column from all other rows.
+        for row in range(n):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(n):
+                work[row, j] ^= gf_mul(factor, int(work[col, j]))
+                inv[row, j] ^= gf_mul(factor, int(inv[col, j]))
+    return inv.astype(np.uint8)
+
+
+def systematic_vandermonde(k: int, m: int) -> np.ndarray:
+    """(k+m) x k systematic generator from a Vandermonde matrix.
+
+    Build the (k+m) x k Vandermonde, then column-reduce so the top k x k
+    block is the identity (the classic jerasure construction).  The
+    result encodes data shards unchanged and appends m parity rows, and
+    every k x k submatrix of the full generator stays invertible.
+    """
+    if k < 1 or m < 0:
+        raise ErasureCodingError(f"invalid code parameters k={k}, m={m}")
+    if k + m > 256:
+        raise ErasureCodingError(f"k+m must be <= 256, got {k + m}")
+    v = vandermonde(k + m, k).astype(np.int32)
+    # Column-reduce the top block to identity.
+    for col in range(k):
+        if v[col, col] == 0:
+            # Swap with a column that has a nonzero entry in this row.
+            for c2 in range(col + 1, k):
+                if v[col, c2] != 0:
+                    v[:, [col, c2]] = v[:, [c2, col]]
+                    break
+            else:
+                raise ErasureCodingError("vandermonde reduction failed (zero row)")
+        inv_p = gf_inv(int(v[col, col]))
+        for r in range(k + m):
+            v[r, col] = gf_mul(int(v[r, col]), inv_p)
+        for c2 in range(k):
+            if c2 == col or v[col, c2] == 0:
+                continue
+            factor = int(v[col, c2])
+            for r in range(k + m):
+                v[r, c2] ^= gf_mul(factor, int(v[r, col]))
+    return v.astype(np.uint8)
+
+
+def systematic_cauchy(k: int, m: int) -> np.ndarray:
+    """(k+m) x k systematic generator [I; Cauchy]."""
+    if k < 1 or m < 0:
+        raise ErasureCodingError(f"invalid code parameters k={k}, m={m}")
+    return np.vstack([identity(k), cauchy(m, k)]) if m else identity(k)

@@ -1,0 +1,155 @@
+"""Systematic Reed-Solomon erasure codec over GF(2^8).
+
+``ReedSolomon(k, m)`` splits an object into ``k`` data shards and
+computes ``m`` parity shards; any ``k`` surviving shards reconstruct the
+original.  This is the algorithm behind Ceph EC pools and the workload
+of the paper's Reed-Solomon RTL accelerator (Table I).
+
+Encoding is a GF matrix multiply over the shard block; decoding inverts
+the surviving rows of the generator matrix (Gauss-Jordan) and re-multiplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import DecodeError, ErasureCodingError
+from .gf256 import gf_matmul
+from .matrix import gauss_jordan_invert, systematic_cauchy, systematic_vandermonde
+
+
+@dataclass(frozen=True)
+class ECProfile:
+    """Erasure-code parameters, mirroring a Ceph EC profile."""
+
+    k: int
+    m: int
+    technique: str = "vandermonde"  # or "cauchy"
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ErasureCodingError(f"k must be >= 1, got {self.k}")
+        if self.m < 0:
+            raise ErasureCodingError(f"m must be >= 0, got {self.m}")
+        if self.k + self.m > 256:
+            raise ErasureCodingError(f"k+m must be <= 256, got {self.k + self.m}")
+        if self.technique not in ("vandermonde", "cauchy"):
+            raise ErasureCodingError(f"unknown technique {self.technique!r}")
+
+    @property
+    def n(self) -> int:
+        """Total shard count."""
+        return self.k + self.m
+
+
+class ReedSolomon:
+    """Encoder/decoder for one EC profile."""
+
+    def __init__(self, k: int, m: int, technique: str = "vandermonde"):
+        self.profile = ECProfile(k, m, technique)
+        if technique == "vandermonde":
+            self.generator = systematic_vandermonde(k, m)
+        else:
+            self.generator = systematic_cauchy(k, m)
+        #: XOR byte operations performed (profiling hook for the cost model)
+        self.bytes_processed = 0
+
+    @property
+    def k(self) -> int:
+        """Data shard count."""
+        return self.profile.k
+
+    @property
+    def m(self) -> int:
+        """Parity shard count."""
+        return self.profile.m
+
+    # -- shard segmentation -----------------------------------------------------
+
+    def shard_size(self, data_len: int) -> int:
+        """Bytes per shard for an object of ``data_len`` (zero-padded)."""
+        return (data_len + self.k - 1) // self.k if data_len else 1
+
+    def split(self, data: bytes) -> np.ndarray:
+        """Object bytes -> (k, shard_size) array, zero padded."""
+        size = self.shard_size(len(data))
+        buf = np.zeros((self.k, size), dtype=np.uint8)
+        flat = np.frombuffer(data, dtype=np.uint8)
+        buf.reshape(-1)[: len(flat)] = flat
+        return buf
+
+    def join(self, shards: np.ndarray, data_len: int) -> bytes:
+        """(k, shard_size) data shards -> original bytes."""
+        return shards.reshape(-1)[:data_len].tobytes()
+
+    # -- encode / decode ------------------------------------------------------------
+
+    def encode(self, data: bytes) -> list[bytes]:
+        """Encode an object into k data + m parity shards."""
+        data_shards = self.split(data)
+        parity = gf_matmul(self.generator[self.k :], data_shards)
+        self.bytes_processed += data_shards.size + parity.size
+        return [bytes(row) for row in data_shards] + [bytes(row) for row in parity]
+
+    def encode_shards(self, data_shards: np.ndarray) -> np.ndarray:
+        """Parity rows for pre-split data shards (array in, array out)."""
+        if data_shards.shape[0] != self.k:
+            raise ErasureCodingError(
+                f"expected {self.k} data shards, got {data_shards.shape[0]}"
+            )
+        self.bytes_processed += data_shards.size * (1 + self.m / max(1, self.k))
+        return gf_matmul(self.generator[self.k :], data_shards)
+
+    def decode(self, shards: Sequence[Optional[bytes]], data_len: int) -> bytes:
+        """Reconstruct the object from any >= k surviving shards.
+
+        ``shards`` has n slots ordered by shard index; missing shards are
+        None.  Raises :class:`DecodeError` with a precise message when too
+        few survive.
+        """
+        n = self.profile.n
+        if len(shards) != n:
+            raise ErasureCodingError(f"expected {n} shard slots, got {len(shards)}")
+        present = [i for i, s in enumerate(shards) if s is not None]
+        if len(present) < self.k:
+            raise DecodeError(
+                f"unrecoverable: {len(present)} shards survive but k={self.k} required"
+            )
+        # Fast path: all data shards intact.
+        if all(shards[i] is not None for i in range(self.k)):
+            data_rows = np.stack(
+                [np.frombuffer(shards[i], dtype=np.uint8) for i in range(self.k)]
+            )
+            return self.join(data_rows, data_len)
+        use = present[: self.k]
+        sub = self.generator[use]  # (k, k) rows of surviving shards
+        inv = gauss_jordan_invert(sub)
+        survivors = np.stack([np.frombuffer(shards[i], dtype=np.uint8) for i in use])
+        data_rows = gf_matmul(inv, survivors)
+        self.bytes_processed += survivors.size * 2
+        return self.join(data_rows, data_len)
+
+    def reconstruct_shard(self, shards: Sequence[Optional[bytes]], index: int) -> bytes:
+        """Rebuild a single lost shard (the recovery-path primitive)."""
+        n = self.profile.n
+        if not 0 <= index < n:
+            raise ErasureCodingError(f"shard index {index} out of range [0, {n})")
+        if shards[index] is not None:
+            return shards[index]
+        present = [i for i, s in enumerate(shards) if s is not None]
+        if len(present) < self.k:
+            raise DecodeError(
+                f"unrecoverable shard {index}: only {len(present)} survive, k={self.k}"
+            )
+        use = present[: self.k]
+        inv = gauss_jordan_invert(self.generator[use])
+        survivors = np.stack([np.frombuffer(shards[i], dtype=np.uint8) for i in use])
+        data_rows = gf_matmul(inv, survivors)
+        row = gf_matmul(self.generator[index : index + 1], data_rows)
+        return bytes(row[0])
+
+    def __repr__(self) -> str:
+        return f"<ReedSolomon k={self.k} m={self.m} {self.profile.technique}>"

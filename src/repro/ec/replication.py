@@ -1,0 +1,57 @@
+"""Replication as a codec, sharing the erasure-coding interface.
+
+Lets the OSD pool layer treat durability uniformly: ``encode`` yields N
+identical copies, ``decode`` returns the first surviving one.  Storage
+overhead and rebuild cost differ wildly from RS — exactly the trade-off
+the paper benchmarks in both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import DecodeError, ErasureCodingError
+
+
+class ReplicationCodec:
+    """N-way replication behind the shard-codec interface."""
+
+    def __init__(self, copies: int = 3):
+        if copies < 1:
+            raise ErasureCodingError(f"replication needs >= 1 copy, got {copies}")
+        self.copies = copies
+
+    @property
+    def k(self) -> int:
+        """Data shards (always 1: each copy is the full object)."""
+        return 1
+
+    @property
+    def m(self) -> int:
+        """Redundant copies."""
+        return self.copies - 1
+
+    @property
+    def n(self) -> int:
+        """Total stored copies."""
+        return self.copies
+
+    def encode(self, data: bytes) -> list[bytes]:
+        """N identical copies."""
+        return [data for _ in range(self.copies)]
+
+    def decode(self, shards: Sequence[Optional[bytes]], data_len: int) -> bytes:
+        """First surviving copy."""
+        if len(shards) != self.copies:
+            raise ErasureCodingError(f"expected {self.copies} slots, got {len(shards)}")
+        for shard in shards:
+            if shard is not None:
+                return shard[:data_len]
+        raise DecodeError("all replicas lost")
+
+    def storage_overhead(self) -> float:
+        """Stored bytes per logical byte (3 for 3x replication)."""
+        return float(self.copies)
+
+    def __repr__(self) -> str:
+        return f"<ReplicationCodec copies={self.copies}>"

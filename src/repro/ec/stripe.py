@@ -1,0 +1,69 @@
+"""Striping: splitting large objects into fixed-size stripe units.
+
+Ceph EC pools write objects in stripes: each stripe of ``k *
+stripe_unit`` bytes is independently encoded into k+m chunks.  This
+module provides the address arithmetic used by the RBD layer and the EC
+pool writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ErasureCodingError
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Geometry of an EC stripe."""
+
+    k: int
+    stripe_unit: int  # bytes per chunk per stripe
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ErasureCodingError(f"k must be >= 1, got {self.k}")
+        if self.stripe_unit < 1:
+            raise ErasureCodingError(f"stripe_unit must be >= 1, got {self.stripe_unit}")
+
+    @property
+    def stripe_width(self) -> int:
+        """Logical bytes covered by one full stripe."""
+        return self.k * self.stripe_unit
+
+    def stripe_of(self, offset: int) -> int:
+        """Stripe index containing logical ``offset``."""
+        if offset < 0:
+            raise ErasureCodingError(f"negative offset {offset}")
+        return offset // self.stripe_width
+
+    def chunk_of(self, offset: int) -> int:
+        """Chunk index (0..k-1) within the stripe for ``offset``."""
+        return (offset % self.stripe_width) // self.stripe_unit
+
+    def chunk_offset(self, offset: int) -> int:
+        """Byte offset within the chunk for logical ``offset``."""
+        return offset % self.stripe_unit
+
+    def stripes_for_extent(self, offset: int, length: int) -> list[int]:
+        """All stripe indices a [offset, offset+length) extent touches."""
+        if length <= 0:
+            return []
+        first = self.stripe_of(offset)
+        last = self.stripe_of(offset + length - 1)
+        return list(range(first, last + 1))
+
+    def extent_in_stripe(self, stripe: int, offset: int, length: int) -> tuple[int, int]:
+        """Portion of [offset, offset+length) inside ``stripe``.
+
+        Returns (offset_within_stripe, sub_length); sub_length may be 0.
+        """
+        start = stripe * self.stripe_width
+        end = start + self.stripe_width
+        lo = max(offset, start)
+        hi = min(offset + length, end)
+        return (lo - start, max(0, hi - lo))
+
+    def is_full_stripe_write(self, offset: int, length: int) -> bool:
+        """True when the extent covers whole stripes only (no RMW needed)."""
+        return offset % self.stripe_width == 0 and length % self.stripe_width == 0

@@ -1,0 +1,76 @@
+"""AMD Alveo U280 device model.
+
+Chip data from paper Section V-c: 1.3 M LUTs, 2.72 M registers, 9,024
+DSPs, 2,016 BRAMs, 960 URAMs across three Super Logic Regions (SLRs);
+SLR0 (the DFX target) has 355 K LUTs, 725 K registers, 490 BRAM tiles,
+320 URAMs, and 2,733 DSPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FpgaError
+from ..units import mhz
+from .resources import RegionLedger, ResourceVector
+
+#: Full-chip capacity (paper Section V-c).
+U280_TOTAL = ResourceVector(lut=1_300_000, ff=2_720_000, bram=2_016, uram=960, dsp=9_024)
+
+#: SLR0 capacity (paper Sections IV-C and V-c).
+U280_SLR0 = ResourceVector(lut=355_000, ff=725_000, bram=490, uram=320, dsp=2_733)
+#: SLR1/SLR2 split the remainder roughly evenly.
+U280_SLR1 = ResourceVector(lut=472_500, ff=997_500, bram=763, uram=320, dsp=3_145)
+U280_SLR2 = ResourceVector(lut=472_500, ff=997_500, bram=763, uram=320, dsp=3_146)
+
+#: Clock domains used by the DeLiBA-K design.
+ACCEL_CLOCK_HZ = mhz(235)  # replication/EC RTL accelerators
+CMAC_CLOCK_HZ = mhz(260)  # Ethernet MAC
+QDMA_CLOCK_HZ = mhz(250)  # PCIe user clock
+
+
+@dataclass(frozen=True)
+class SlrInfo:
+    """One super logic region."""
+
+    index: int
+    capacity: ResourceVector
+
+
+class AlveoU280:
+    """The data-center card: three SLRs with ledgers, plus clock domains.
+
+    The *static region* (QDMA, CMAC, TCP, and the always-present
+    accelerators) spans SLR1+SLR2; SLR0 hosts the reconfigurable
+    partition (paper Section IV-C).
+    """
+
+    def __init__(self):
+        self.slrs = [
+            SlrInfo(0, U280_SLR0),
+            SlrInfo(1, U280_SLR1),
+            SlrInfo(2, U280_SLR2),
+        ]
+        self.ledgers = {
+            "slr0": RegionLedger("slr0", U280_SLR0),
+            "static": RegionLedger("static", U280_SLR1 + U280_SLR2),
+        }
+        self.part = "XCU280-L2FSVH2892E"
+
+    def ledger(self, region: str) -> RegionLedger:
+        """Region lookup ('slr0' or 'static')."""
+        if region not in self.ledgers:
+            raise FpgaError(f"unknown region {region!r}; know {sorted(self.ledgers)}")
+        return self.ledgers[region]
+
+    def place_static(self, module: str, need: ResourceVector) -> None:
+        """Place a module in the static region (SLR1+SLR2)."""
+        self.ledger("static").allocate(module, need)
+
+    def total_used(self) -> ResourceVector:
+        """Resources used across all regions."""
+        return self.ledger("static").used + self.ledger("slr0").used
+
+    def utilization(self) -> dict[str, float]:
+        """Percent utilization of the full chip."""
+        return self.total_used().utilization_of(U280_TOTAL)

@@ -1,0 +1,175 @@
+"""DFX (Dynamic Function eXchange): partial reconfiguration of SLR0.
+
+Paper Section IV-C: DeLiBA-K places its three cluster-shape-specific
+replication accelerators (uniform, list, tree buckets) as Reconfigurable
+Modules (RMs) inside a single Reconfigurable Partition (RP) in SLR0.
+Partial bitstreams are delivered through the MCAP (the PCIe block's
+dedicated configuration port), so the accelerator can be swapped live
+when the storage cluster's composition changes — without power-cycling
+the storage server.
+
+Also implements a ``pr_verify``-style consistency check over the
+configurations, mirroring the Vivado utility the authors ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..errors import ReconfigurationError
+from ..sim import Environment
+from ..units import transfer_ns
+from .accelerators import Accelerator, AcceleratorSpec, spec_by_name
+from .device import AlveoU280
+from .resources import ResourceVector
+
+#: MCAP throughput over PCIe (paper cites XAPP1338 "fast partial
+#: reconfiguration over PCI Express"; ~400 MB/s sustained).
+MCAP_BW = 400e6
+#: Fixed setup/teardown of a reconfiguration (decouple, global reset sync).
+RECONFIG_FIXED_NS = 2_000_000  # 2 ms
+
+#: Approximate partial-bitstream bytes per RM: configuration frames scale
+#: with the region footprint; an SLR0-quadrant RM is ~25 MB.
+DEFAULT_PARTIAL_BITSTREAM = 25 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A generated programming file."""
+
+    name: str
+    partial: bool
+    size_bytes: int
+    target_rp: str = ""
+
+
+@dataclass
+class ReconfigurableModule:
+    """One RM: a netlist implementable inside an RP."""
+
+    name: str
+    spec: AcceleratorSpec
+    bitstream: Bitstream
+    resources: ResourceVector = field(default_factory=ResourceVector)
+
+    def __post_init__(self):
+        if not self.bitstream.partial:
+            raise ReconfigurationError(f"RM {self.name!r} needs a partial bitstream")
+
+
+class ReconfigurablePartition:
+    """The RP: a floorplanned Pblock in SLR0 hosting one RM at a time."""
+
+    def __init__(self, device: AlveoU280, name: str = "rp0", region: str = "slr0"):
+        self.device = device
+        self.name = name
+        self.region = region
+        self.modules: dict[str, ReconfigurableModule] = {}
+        self.active: Optional[str] = None
+
+    @property
+    def capacity(self) -> ResourceVector:
+        """Resources of the hosting region."""
+        return self.device.ledger(self.region).capacity
+
+    def register_module(self, rm: ReconfigurableModule) -> None:
+        """Add an RM implementation (checked against the RP footprint)."""
+        if rm.name in self.modules:
+            raise ReconfigurationError(f"RM {rm.name!r} already registered in {self.name}")
+        if not rm.resources.fits_in(self.capacity):
+            raise ReconfigurationError(
+                f"RM {rm.name!r} does not fit {self.name}: need {rm.resources}"
+            )
+        self.modules[rm.name] = rm
+
+
+class DfxController:
+    """Loads partial bitstreams through the MCAP."""
+
+    def __init__(self, env: Environment, device: AlveoU280, partition: ReconfigurablePartition):
+        self.env = env
+        self.device = device
+        self.partition = partition
+        self.reconfigurations = 0
+        self._accelerators: dict[str, Accelerator] = {}
+
+    def active_accelerator(self) -> Accelerator:
+        """The currently loaded RM's accelerator instance."""
+        if self.partition.active is None:
+            raise ReconfigurationError(f"no RM loaded in {self.partition.name}")
+        return self._accelerators[self.partition.active]
+
+    def reconfigure(self, rm_name: str) -> Generator:
+        """Process: swap the active RM (MCAP transfer + reset sync).
+
+        The rest of the design (static region) keeps running; only the
+        RP is decoupled for the duration.
+        """
+        rm = self.partition.modules.get(rm_name)
+        if rm is None:
+            raise ReconfigurationError(
+                f"unknown RM {rm_name!r}; registered: {sorted(self.partition.modules)}"
+            )
+        if self.partition.active == rm_name:
+            return  # already loaded
+        ledger = self.device.ledger(self.partition.region)
+        if self.partition.active is not None:
+            ledger.release(f"rm:{self.partition.active}")
+        yield self.env.timeout(
+            RECONFIG_FIXED_NS + transfer_ns(rm.bitstream.size_bytes, MCAP_BW)
+        )
+        ledger.allocate(f"rm:{rm.name}", rm.resources)
+        self.partition.active = rm.name
+        self._accelerators.setdefault(rm.name, Accelerator(self.env, rm.spec))
+        self.reconfigurations += 1
+
+    def reconfiguration_ns(self, rm_name: str) -> int:
+        """Predicted swap time for an RM (without running it)."""
+        rm = self.partition.modules.get(rm_name)
+        if rm is None:
+            raise ReconfigurationError(f"unknown RM {rm_name!r}")
+        return RECONFIG_FIXED_NS + transfer_ns(rm.bitstream.size_bytes, MCAP_BW)
+
+
+def pr_verify(partition: ReconfigurablePartition) -> list[str]:
+    """Vivado ``pr_verify``-style checks over all configurations.
+
+    Returns a list of human-readable problems (empty = all good):
+    every RM must fit the RP, share the same target region, and have a
+    partial (not full) bitstream.
+    """
+    problems = []
+    if not partition.modules:
+        problems.append(f"{partition.name}: no reconfigurable modules registered")
+    for rm in partition.modules.values():
+        if not rm.resources.fits_in(partition.capacity):
+            problems.append(f"{rm.name}: exceeds partition capacity")
+        if not rm.bitstream.partial:
+            problems.append(f"{rm.name}: bitstream is not partial")
+        if rm.bitstream.target_rp and rm.bitstream.target_rp != partition.name:
+            problems.append(
+                f"{rm.name}: bitstream targets {rm.bitstream.target_rp!r}, "
+                f"not {partition.name!r}"
+            )
+    return problems
+
+
+def build_deliba_k_rms(device: AlveoU280) -> ReconfigurablePartition:
+    """The paper's RP: one partition in SLR0 with the three bucket RMs.
+
+    Footprints are the Table III "Partial Reconfiguration Modules" rows.
+    """
+    rp = ReconfigurablePartition(device, "rp0", "slr0")
+    for rm_name, kernel in (("rm1_list", "list"), ("rm2_tree", "tree"), ("rm3_uniform", "uniform")):
+        spec = spec_by_name(kernel)
+        rp.register_module(
+            ReconfigurableModule(
+                rm_name,
+                spec,
+                Bitstream(f"{rm_name}.bit", partial=True, size_bytes=DEFAULT_PARTIAL_BITSTREAM, target_rp="rp0"),
+                resources=spec.resources,
+            )
+        )
+    return rp

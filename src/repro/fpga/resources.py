@@ -1,0 +1,104 @@
+"""FPGA resource vectors and region ledgers.
+
+Tracks LUTs, CLB registers, BRAM tiles, URAMs, and DSPs per region, and
+validates that a composed design fits — the accounting behind paper
+Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ResourceOverflowError
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A bundle of FPGA resources."""
+
+    lut: int = 0
+    ff: int = 0
+    bram: int = 0
+    uram: int = 0
+    dsp: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.bram + other.bram,
+            self.uram + other.uram,
+            self.dsp + other.dsp,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.lut - other.lut,
+            self.ff - other.ff,
+            self.bram - other.bram,
+            self.uram - other.uram,
+            self.dsp - other.dsp,
+        )
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        """True when every component fits."""
+        return (
+            self.lut <= capacity.lut
+            and self.ff <= capacity.ff
+            and self.bram <= capacity.bram
+            and self.uram <= capacity.uram
+            and self.dsp <= capacity.dsp
+        )
+
+    def utilization_of(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Percent utilization per component relative to ``capacity``."""
+        return {
+            "lut": 100.0 * self.lut / capacity.lut if capacity.lut else 0.0,
+            "ff": 100.0 * self.ff / capacity.ff if capacity.ff else 0.0,
+            "bram": 100.0 * self.bram / capacity.bram if capacity.bram else 0.0,
+            "uram": 100.0 * self.uram / capacity.uram if capacity.uram else 0.0,
+            "dsp": 100.0 * self.dsp / capacity.dsp if capacity.dsp else 0.0,
+        }
+
+
+class RegionLedger:
+    """Allocation bookkeeping for one region (SLR or full device)."""
+
+    def __init__(self, name: str, capacity: ResourceVector):
+        self.name = name
+        self.capacity = capacity
+        self.allocations: dict[str, ResourceVector] = {}
+
+    @property
+    def used(self) -> ResourceVector:
+        """Sum of current allocations."""
+        total = ResourceVector()
+        for vec in self.allocations.values():
+            total = total + vec
+        return total
+
+    @property
+    def free(self) -> ResourceVector:
+        """Remaining headroom."""
+        return self.capacity - self.used
+
+    def allocate(self, module: str, need: ResourceVector) -> None:
+        """Reserve resources for ``module`` (raises on overflow)."""
+        vec = need
+        if module in self.allocations:
+            raise ResourceOverflowError(f"module {module!r} already placed in {self.name}")
+        if not (self.used + vec).fits_in(self.capacity):
+            raise ResourceOverflowError(
+                f"{module!r} does not fit in {self.name}: need {vec}, free {self.free}"
+            )
+        self.allocations[module] = vec
+
+    def release(self, module: str) -> ResourceVector:
+        """Free a module's resources."""
+        if module not in self.allocations:
+            raise ResourceOverflowError(f"module {module!r} not placed in {self.name}")
+        return self.allocations.pop(module)
+
+    def utilization(self) -> dict[str, float]:
+        """Percent utilization of the region."""
+        return self.used.utilization_of(self.capacity)

@@ -1,0 +1,7 @@
+"""Host-side substrate: CPU cores, affinity, and kernel cost models."""
+
+from .costs import SKYLAKE, HostCosts
+from .cpu import CpuCore, CpuSet
+from .kernel import HostKernel
+
+__all__ = ["CpuCore", "CpuSet", "HostCosts", "HostKernel", "SKYLAKE"]

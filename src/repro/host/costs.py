@@ -1,0 +1,44 @@
+"""Host cost model: syscalls, context switches, memory copies, interrupts.
+
+These constants parameterize everything the paper's host-side redesign
+attacks: DeLiBA-1 paid ~6 user/kernel crossings per I/O, DeLiBA-2 five
+copies, DeLiBA-K one batched ``io_uring_enter`` for many I/Os.  Values
+are calibrated for a Sky Lake-E class server (the paper's client node)
+and documented per field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import transfer_ns
+
+
+@dataclass(frozen=True)
+class HostCosts:
+    """Per-event host costs in nanoseconds."""
+
+    #: Mode switch of one syscall (enter+exit), post-Meltdown mitigations.
+    syscall_ns: int = 1_000
+    #: Full context switch between processes/threads (schedule + cache refill).
+    context_switch_ns: int = 2_000
+    #: Memory copy bandwidth for user<->kernel copies (single core, ~8 GB/s).
+    copy_bw: float = 8.0e9
+    #: Fixed setup per copy (copy_(to|from)_user invocation).
+    copy_fixed_ns: int = 150
+    #: Hardware interrupt delivery + handler entry.
+    interrupt_ns: int = 2_000
+    #: One poll of a completion queue (cache-line read + branch).
+    poll_ns: int = 120
+    #: Page-fault service (mmap path).
+    page_fault_ns: int = 2_800
+
+    def copy_ns(self, nbytes: int) -> int:
+        """Time to copy ``nbytes`` between user and kernel space."""
+        if nbytes <= 0:
+            return 0
+        return self.copy_fixed_ns + transfer_ns(nbytes, self.copy_bw)
+
+
+#: Default calibration (client node: Intel Sky Lake-E, RHEL 9.4).
+SKYLAKE = HostCosts()

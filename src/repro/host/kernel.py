@@ -1,0 +1,49 @@
+"""HostKernel: bundles cores and cost constants for one client node."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Environment
+from .costs import SKYLAKE, HostCosts
+from .cpu import CpuCore, CpuSet
+
+
+class HostKernel:
+    """The client machine: CPU set + cost model + accounting."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_cores: int = 28,
+        costs: Optional[HostCosts] = None,
+    ):
+        self.env = env
+        self.cpus = CpuSet(env, num_cores)
+        self.costs = costs or SKYLAKE
+        self.syscalls = 0
+        self.context_switches = 0
+        self.bytes_copied = 0
+
+    def syscall(self, core: CpuCore, extra_ns: int = 0) -> Generator:
+        """Process: one user->kernel->user crossing plus ``extra_ns`` work."""
+        self.syscalls += 1
+        yield from core.run(self.costs.syscall_ns + extra_ns)
+
+    def context_switch(self, core: CpuCore) -> Generator:
+        """Process: one full context switch on ``core``."""
+        self.context_switches += 1
+        yield from core.run(self.costs.context_switch_ns)
+
+    def copy(self, core: CpuCore, nbytes: int) -> Generator:
+        """Process: copy ``nbytes`` across the user/kernel boundary."""
+        self.bytes_copied += nbytes
+        yield from core.run(self.costs.copy_ns(nbytes))
+
+    def interrupt(self, core: CpuCore) -> Generator:
+        """Process: take a hardware interrupt on ``core``."""
+        yield from core.run(self.costs.interrupt_ns)
+
+    def poll_once(self, core: CpuCore) -> Generator:
+        """Process: one completion-queue poll."""
+        yield from core.run(self.costs.poll_ns)

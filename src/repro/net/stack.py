@@ -1,0 +1,65 @@
+"""TCP/IP stack cost profiles: kernel software, HLS FPGA, RTL FPGA.
+
+The DeLiBA generations differ in *where* TCP runs and how much it costs
+per message:
+
+* **kernel** — Linux TCP on the host CPU: syscall + softirq + skb
+  management; tens of microseconds per round trip at 4 kB.
+* **hls** — DeLiBA-2's open-source HLS TCP block on the FPGA: no host
+  CPU cost, but the HLS pipeline clocks lower and stalls more.
+* **rtl** — DeLiBA-K's hand-written Verilog TX/RX path at 260 MHz
+  (CMAC clock): minimal fixed latency and per-byte cost.
+
+Per-message processing time = ``fixed_ns + ceil(bytes * per_byte_ns)``;
+``on_host`` marks whether the cost burns host CPU (kernel stack) or
+FPGA pipeline time (offloaded stacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+
+
+@dataclass(frozen=True)
+class StackProfile:
+    """Cost model for one TCP implementation."""
+
+    name: str
+    tx_fixed_ns: int
+    rx_fixed_ns: int
+    per_byte_ns: float
+    on_host: bool
+
+    def __post_init__(self):
+        if self.tx_fixed_ns < 0 or self.rx_fixed_ns < 0 or self.per_byte_ns < 0:
+            raise NetworkError(f"negative cost in stack profile {self.name!r}")
+
+    def tx_ns(self, nbytes: int) -> int:
+        """Transmit-side processing time for an ``nbytes`` message."""
+        return self.tx_fixed_ns + int(nbytes * self.per_byte_ns)
+
+    def rx_ns(self, nbytes: int) -> int:
+        """Receive-side processing time for an ``nbytes`` message."""
+        return self.rx_fixed_ns + int(nbytes * self.per_byte_ns)
+
+
+#: Linux kernel TCP (socket write -> softirq -> skb -> driver).  Fixed
+#: costs reflect measured per-message kernel stack time on Sky Lake-class
+#: hardware; the per-byte term models checksum/copy work.
+KERNEL_TCP = StackProfile("kernel-tcp", tx_fixed_ns=8_000, rx_fixed_ns=9_000, per_byte_ns=0.25, on_host=True)
+
+#: DeLiBA-2's HLS TCP/IP block (open-source HLS stack, ~160 MHz effective).
+HLS_TCP = StackProfile("hls-fpga-tcp", tx_fixed_ns=2_600, rx_fixed_ns=2_600, per_byte_ns=0.10, on_host=False)
+
+#: DeLiBA-K's Verilog RTL TX/RX redesign at 260 MHz (paper section IV-D).
+RTL_TCP = StackProfile("rtl-fpga-tcp", tx_fixed_ns=900, rx_fixed_ns=900, per_byte_ns=0.035, on_host=False)
+
+
+def stack_by_name(name: str) -> StackProfile:
+    """Lookup used by framework configs."""
+    table = {p.name: p for p in (KERNEL_TCP, HLS_TCP, RTL_TCP)}
+    if name not in table:
+        raise NetworkError(f"unknown stack profile {name!r}; know {sorted(table)}")
+    return table[name]

@@ -1,0 +1,123 @@
+"""Simulated TCP connections over the star network.
+
+A :class:`TcpConnection` is an ordered, bidirectional channel between two
+hosts.  Each direction charges the configured stack profile's TX cost
+before the wire transfer and the RX cost after it — so swapping
+``KERNEL_TCP`` for ``RTL_TCP`` changes end-to-end latency exactly the way
+moving the stack onto the FPGA did in the paper.
+
+Connection setup models the three-way handshake (one RTT); established
+connections are cached by the :class:`TcpEndpoint` like a connection pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from ..errors import NetworkError
+from ..sim import Environment, FilterStore
+from .message import Message
+from .stack import KERNEL_TCP, StackProfile
+from .topology import Network
+
+_conn_ids = itertools.count(1)
+
+#: TCP/IP header bytes charged per message (TCP 20 + IP 20).
+TCP_HEADER_BYTES = 40
+
+
+class TcpConnection:
+    """One established connection between ``a`` and ``b``."""
+
+    def __init__(
+        self,
+        network: Network,
+        a: str,
+        b: str,
+        stack_a: StackProfile = KERNEL_TCP,
+        stack_b: StackProfile = KERNEL_TCP,
+    ):
+        self.network = network
+        self.env: Environment = network.env
+        self.a = a
+        self.b = b
+        self.stack = {a: stack_a, b: stack_b}
+        self.conn_id = next(_conn_ids)
+        # Per-endpoint receive buffers holding (conn_id-tagged) messages.
+        self._rx: dict[str, FilterStore] = {
+            a: FilterStore(self.env, name=f"tcp{self.conn_id}:{a}"),
+            b: FilterStore(self.env, name=f"tcp{self.conn_id}:{b}"),
+        }
+        self.established = False
+        self.bytes_sent = {a: 0, b: 0}
+
+    def _peer(self, endpoint: str) -> str:
+        if endpoint == self.a:
+            return self.b
+        if endpoint == self.b:
+            return self.a
+        raise NetworkError(f"host {endpoint!r} is not an endpoint of this connection")
+
+    def connect(self) -> Generator:
+        """Three-way handshake: SYN, SYN-ACK, ACK (charged as 1.5 RTT)."""
+        if self.established:
+            return
+        for src, dst in ((self.a, self.b), (self.b, self.a), (self.a, self.b)):
+            msg = Message(src, dst, TCP_HEADER_BYTES)
+            yield self.env.process(self.network.send(msg))
+            # Consume the control frame from the peer's inbox.
+            yield self.network.host(dst).inbox.get(lambda m: m.msg_id == msg.msg_id)
+        self.established = True
+
+    def send(self, endpoint: str, nbytes: int, payload: Any = None) -> Generator:
+        """Process: send ``nbytes`` of payload from ``endpoint`` to its peer.
+
+        Completes when the peer's stack has finished RX processing and the
+        data is available to :meth:`recv`.
+        """
+        if not self.established:
+            raise NetworkError(f"connection {self.conn_id} not established; call connect()")
+        peer = self._peer(endpoint)
+        tx_stack = self.stack[endpoint]
+        rx_stack = self.stack[peer]
+        yield self.env.timeout(tx_stack.tx_ns(nbytes))
+        msg = Message(endpoint, peer, nbytes + TCP_HEADER_BYTES, payload=(self.conn_id, payload))
+        yield self.env.process(self.network.send(msg))
+        # Move exactly this message from the host inbox into this
+        # connection's rx buffer (other connections' traffic stays put).
+        delivered = yield self.network.host(peer).inbox.get(lambda m: m.msg_id == msg.msg_id)
+        yield self.env.timeout(rx_stack.rx_ns(nbytes))
+        yield self._rx[peer].put(delivered)
+        self.bytes_sent[endpoint] += nbytes
+
+    def recv(self, endpoint: str):
+        """Event yielding the next message addressed to ``endpoint``."""
+        if endpoint not in self._rx:
+            raise NetworkError(f"host {endpoint!r} is not an endpoint of this connection")
+        return self._rx[endpoint].get(lambda m: m.payload[0] == self.conn_id)
+
+
+class TcpEndpoint:
+    """Connection pool for one host (mirrors a messenger in Ceph)."""
+
+    def __init__(self, network: Network, host: str, stack: StackProfile = KERNEL_TCP):
+        self.network = network
+        self.host = host
+        self.stack = stack
+        self._conns: dict[str, TcpConnection] = {}
+
+    def connection_to(self, peer: str, peer_stack: Optional[StackProfile] = None) -> TcpConnection:
+        """Existing connection to ``peer``, or a new unestablished one."""
+        if peer not in self._conns:
+            self._conns[peer] = TcpConnection(
+                self.network, self.host, peer, self.stack, peer_stack or self.stack
+            )
+        return self._conns[peer]
+
+    def ensure_connected(self, peer: str, peer_stack: Optional[StackProfile] = None) -> Generator:
+        """Process: return an established connection (handshaking if new)."""
+        conn = self.connection_to(peer, peer_stack)
+        if not conn.established:
+            yield from conn.connect()
+        return conn

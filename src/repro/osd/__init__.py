@@ -1,0 +1,62 @@
+"""Simulated Ceph substrate: OSD daemons, pools, RADOS client, RBD.
+
+Implements the distributed-storage system DeLiBA accelerates: CRUSH
+placement, primary-copy replication, erasure-coded pools with real
+Reed-Solomon shards, device media models, failure/recovery, and the
+virtual block device (RBD) the block layer sits on.
+"""
+
+from .client import RadosClient
+from .faults import FaultInjector
+from .scrub import Inconsistency, ScrubReport, Scrubber
+from .zoned import Zone, ZoneState, ZonedDevice
+from .cluster import CephCluster, ClusterSpec, build_cluster
+from .fabric import Envelope, Fabric, Messenger
+from .monitor import Monitor, RecoveryStats
+from .objects import ObjectStore
+from .ops import OP_HEADER_BYTES, OpKind, OsdOp, OsdReply
+from .osd import OsdConfig, OsdDaemon, shard_object_name
+from .osdmap import OSDMap, OsdState, Pool, PoolType
+from .rbd import DEFAULT_OBJECT_SIZE, Extent, RBDImage
+from .storage import HDD, NVME_SSD, PROFILES, SATA_SSD, SMR_HDD, MediaProfile, StorageDevice
+
+__all__ = [
+    "CephCluster",
+    "FaultInjector",
+    "Inconsistency",
+    "ScrubReport",
+    "Scrubber",
+    "Zone",
+    "ZoneState",
+    "ZonedDevice",
+    "ClusterSpec",
+    "DEFAULT_OBJECT_SIZE",
+    "Envelope",
+    "Extent",
+    "Fabric",
+    "HDD",
+    "MediaProfile",
+    "Messenger",
+    "Monitor",
+    "NVME_SSD",
+    "OP_HEADER_BYTES",
+    "OSDMap",
+    "ObjectStore",
+    "OpKind",
+    "OsdConfig",
+    "OsdDaemon",
+    "OsdOp",
+    "OsdReply",
+    "OsdState",
+    "PROFILES",
+    "Pool",
+    "PoolType",
+    "RBDImage",
+    "RadosClient",
+    "RecoveryStats",
+    "SATA_SSD",
+    "SMR_HDD",
+    "StorageDevice",
+    "build_cluster",
+    "shard_object_name",
+]

@@ -1,0 +1,273 @@
+"""RADOS client: object reads/writes against replicated and EC pools.
+
+Implements both op topologies (see ``osd.py``): primary-mediated
+(software Ceph) and direct client fan-out (the DeLiBA datapath, where
+the client-side FPGA addresses every replica/shard itself).
+
+The client charges **no** host API or placement-compute costs — those
+belong to the framework layer (``repro.deliba``), which wraps this
+client with the per-generation cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..crush import CRUSH_ITEM_NONE, PlacementEngine
+from ..ec import ReedSolomon
+from ..errors import StorageError
+from ..sim import Environment
+from .fabric import Fabric, Messenger
+from .ops import OpKind, OsdOp, OsdReply
+from .osdmap import OSDMap, Pool, PoolType
+
+
+class RadosClient(Messenger):
+    """One client entity issuing object I/O."""
+
+    def __init__(self, env: Environment, fabric: Fabric, osdmap: OSDMap, name: str = "client0"):
+        super().__init__(env, fabric, name)
+        self.osdmap = osdmap
+        self.placement = PlacementEngine(osdmap.crush)
+        self._placement_epoch = osdmap.epoch
+        self._codecs: dict[int, ReedSolomon] = {}
+        self.ops_completed = 0
+        #: CRUSH work counter of the last placement (profiling hook).
+        self.last_placement_ops = 0
+
+    def _codec(self, pool: Pool) -> ReedSolomon:
+        if pool.pool_id not in self._codecs:
+            self._codecs[pool.pool_id] = ReedSolomon(pool.k, pool.m)
+        return self._codecs[pool.pool_id]
+
+    def compute_placement(self, pool: Pool, object_name: str) -> list[int]:
+        """Object -> acting set via CRUSH (cache invalidated on epoch bump)."""
+        if self._placement_epoch != self.osdmap.epoch:
+            self.placement.invalidate()
+            self._placement_epoch = self.osdmap.epoch
+        _pg, acting = self.placement.object_to_osds(
+            pool.pool_id, object_name, pool.pg_num, pool.rule, pool.size
+        )
+        self.last_placement_ops = self.placement.mapper.last_ops
+        return acting
+
+    # -- replicated pools ---------------------------------------------------------
+
+    def write_replicated(
+        self,
+        pool: Pool,
+        object_name: str,
+        data: bytes,
+        offset: int = 0,
+        direct: bool = False,
+        sequential: bool = False,
+    ) -> Generator:
+        """Process: durable write of ``data`` to all replicas.
+
+        ``direct=True`` fans out from the client (DeLiBA); otherwise the
+        op routes through the primary, which forwards sub-ops.
+        """
+        if pool.pool_type != PoolType.REPLICATED:
+            raise StorageError(f"pool {pool.name!r} is not replicated")
+        acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
+        if not acting:
+            raise StorageError(f"no acting set for {object_name!r} (cluster too degraded)")
+        if direct:
+            procs = []
+            for target in acting:
+                op = OsdOp(
+                    OpKind.WRITE_DIRECT,
+                    pool.pool_id,
+                    object_name,
+                    offset,
+                    len(data),
+                    data=data,
+                    sequential=sequential,
+                    epoch=self.osdmap.epoch,
+                )
+                procs.append(self.env.process(self.call(f"osd.{target}", op), name="wr"))
+            results = yield self.env.all_of(procs)
+            self._check_replies(results.values())
+        else:
+            op = OsdOp(
+                OpKind.WRITE,
+                pool.pool_id,
+                object_name,
+                offset,
+                len(data),
+                data=data,
+                acting=tuple(acting),
+                sequential=sequential,
+                epoch=self.osdmap.epoch,
+            )
+            reply = yield from self.call(f"osd.{acting[0]}", op)
+            self._check_replies([reply])
+        self.ops_completed += 1
+
+    def read_replicated(
+        self, pool: Pool, object_name: str, offset: int, length: int
+    ) -> Generator:
+        """Process: read from the primary replica; returns bytes."""
+        if pool.pool_type != PoolType.REPLICATED:
+            raise StorageError(f"pool {pool.name!r} is not replicated")
+        acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
+        if not acting:
+            raise StorageError(f"no acting set for {object_name!r}")
+        op = OsdOp(
+            OpKind.READ, pool.pool_id, object_name, offset, length, epoch=self.osdmap.epoch
+        )
+        reply = yield from self.call(f"osd.{acting[0]}", op)
+        if not reply.ok and reply.error.startswith("no such object"):
+            # ENOENT: unwritten extents of a block image read as zeros
+            # (librbd semantics).
+            self.ops_completed += 1
+            return b"\x00" * length
+        self._check_replies([reply])
+        self.ops_completed += 1
+        return reply.data
+
+    # -- erasure-coded pools ----------------------------------------------------------
+
+    def write_ec(
+        self,
+        pool: Pool,
+        object_name: str,
+        data: bytes,
+        direct: bool = False,
+        sequential: bool = False,
+    ) -> Generator:
+        """Process: EC write of a whole object.
+
+        ``direct=True``: the client encodes and addresses each shard OSD
+        itself (codec CPU/FPGA cost is charged by the framework layer).
+        Otherwise the primary encodes and fans out.
+        """
+        if pool.pool_type != PoolType.ERASURE:
+            raise StorageError(f"pool {pool.name!r} is not erasure-coded")
+        acting = self.compute_placement(pool, object_name)
+        targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
+        if len(targets) < pool.k:
+            raise StorageError(
+                f"only {len(targets)} shard targets for {object_name!r}, need k={pool.k}"
+            )
+        if direct:
+            shards = self._codec(pool).encode(data)
+            procs = []
+            for rank, target in targets:
+                op = OsdOp(
+                    OpKind.SHARD_WRITE,
+                    pool.pool_id,
+                    object_name,
+                    0,
+                    len(shards[rank]),
+                    data=shards[rank],
+                    shard=rank,
+                    sequential=sequential,
+                    epoch=self.osdmap.epoch,
+                )
+                procs.append(self.env.process(self.call(f"osd.{target}", op), name="shard"))
+            results = yield self.env.all_of(procs)
+            self._check_replies(results.values())
+        else:
+            primary = targets[0][1]
+            op = OsdOp(
+                OpKind.EC_WRITE,
+                pool.pool_id,
+                object_name,
+                0,
+                len(data),
+                data=data,
+                acting=tuple(osd for _, osd in targets),
+                sequential=sequential,
+                epoch=self.osdmap.epoch,
+            )
+            reply = yield from self.call(f"osd.{primary}", op)
+            self._check_replies([reply])
+        self.ops_completed += 1
+
+    def read_ec(
+        self, pool: Pool, object_name: str, length: int, direct: bool = False
+    ) -> Generator:
+        """Process: EC read of a whole object of known ``length``."""
+        if pool.pool_type != PoolType.ERASURE:
+            raise StorageError(f"pool {pool.name!r} is not erasure-coded")
+        acting = self.compute_placement(pool, object_name)
+        targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
+        if len(targets) < pool.k:
+            raise StorageError(f"unrecoverable {object_name!r}: {len(targets)} < k={pool.k}")
+        if direct:
+            codec = self._codec(pool)
+            shard_len = codec.shard_size(length)
+            shards = yield from gather_shards(
+                self, pool, object_name, targets, shard_len, self.osdmap.epoch
+            )
+            self.ops_completed += 1
+            return codec.decode(shards, length)
+        primary = targets[0][1]
+        op = OsdOp(
+            OpKind.EC_READ,
+            pool.pool_id,
+            object_name,
+            0,
+            length,
+            acting=tuple(osd for _, osd in targets),
+            epoch=self.osdmap.epoch,
+        )
+        reply = yield from self.call(f"osd.{primary}", op)
+        self._check_replies([reply])
+        self.ops_completed += 1
+        return reply.data
+
+    # -- helpers ------------------------------------------------------------------------
+
+    @staticmethod
+    def _check_replies(replies) -> None:
+        for reply in replies:
+            if isinstance(reply, OsdReply) and not reply.ok:
+                raise StorageError(f"osd op {reply.op_id} failed: {reply.error}")
+
+
+def gather_shards(messenger, pool, object_name, targets, shard_len, epoch, preloaded=None):
+    """Process: collect >= k shards, retrying beyond the first k ranks.
+
+    Phase 1 reads the first k ranks in parallel (the healthy fast path);
+    if some targets lack their shard (degraded placement before recovery
+    finished), further ranks are queried until k shards are in hand.
+    Shared between the client-direct path and the EC primary, which
+    passes its locally-read shard via ``preloaded``.
+    """
+    env = messenger.env
+    shards: list[Optional[bytes]] = [None] * pool.size
+    got = 0
+    if preloaded:
+        for rank, data in preloaded.items():
+            shards[rank] = data
+            got += 1
+    remaining = [(rank, tgt) for rank, tgt in targets if shards[rank] is None]
+    idx = 0
+    while got < pool.k and idx < len(remaining):
+        batch = remaining[idx : idx + (pool.k - got)]
+        idx += len(batch)
+        procs = {}
+        for rank, target in batch:
+            op = OsdOp(
+                OpKind.SHARD_READ,
+                pool.pool_id,
+                object_name,
+                0,
+                shard_len,
+                shard=rank,
+                epoch=epoch,
+            )
+            procs[rank] = env.process(messenger.call(f"osd.{target}", op), name="shard")
+        results = yield env.all_of(list(procs.values()))
+        for rank, proc in procs.items():
+            reply = results[proc]
+            if reply.ok:
+                shards[rank] = reply.data
+                got += 1
+    if got < pool.k:
+        raise StorageError(
+            f"object {object_name!r}: only {got} shards readable, need k={pool.k}"
+        )
+    return shards

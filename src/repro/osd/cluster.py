@@ -1,0 +1,166 @@
+"""Cluster builder: network + CRUSH + OSD daemons + monitor in one call.
+
+``build_cluster(env)`` reproduces the paper's testbed by default: one
+client node and two storage servers with 16 OSDs each (32 total), all on
+a 10 GbE star measured at 9.8 Gb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crush import BucketAlg, build_two_level_cluster
+from ..errors import StorageError
+from ..net.stack import KERNEL_TCP, StackProfile
+from ..net.topology import Network
+from ..sim import Environment, RngRegistry
+from .client import RadosClient
+from .fabric import Fabric, Messenger
+from .monitor import Monitor
+from .osd import OsdConfig, OsdDaemon
+from .osdmap import OSDMap, Pool
+from .storage import NVME_SSD, MediaProfile, StorageDevice
+
+
+@dataclass
+class ClusterSpec:
+    """Shape and parameters of a simulated cluster."""
+
+    num_server_hosts: int = 2
+    osds_per_host: int = 16
+    num_clients: int = 1
+    media: MediaProfile = NVME_SSD
+    osd_config: OsdConfig = field(default_factory=OsdConfig)
+    client_stack: StackProfile = KERNEL_TCP
+    bucket_alg: BucketAlg = BucketAlg.STRAW2
+    seed: int = 0
+
+
+class CephCluster:
+    """Everything needed to run object I/O experiments."""
+
+    def __init__(self, env: Environment, spec: Optional[ClusterSpec] = None):
+        self.env = env
+        self.spec = spec or ClusterSpec()
+        self.rng = RngRegistry(self.spec.seed)
+        self.network = Network(env)
+        # Hosts: client0..N and server0..M.
+        self.client_hosts = [f"clienthost{i}" for i in range(self.spec.num_clients)]
+        self.server_hosts = [f"server{i}" for i in range(self.spec.num_server_hosts)]
+        for host in self.client_hosts + self.server_hosts:
+            self.network.add_host(host)
+        # CRUSH hierarchy mirrors the host layout.
+        self.crush, self.root_id = build_two_level_cluster(
+            self.spec.num_server_hosts,
+            self.spec.osds_per_host,
+            host_alg=self.spec.bucket_alg,
+            root_alg=self.spec.bucket_alg,
+        )
+        self.osdmap = OSDMap(self.crush)
+        self.fabric = Fabric(env, self.network)
+        # OSD daemons.
+        self.daemons: dict[int, OsdDaemon] = {}
+        for h, host in enumerate(self.server_hosts):
+            for d in range(self.spec.osds_per_host):
+                osd_id = h * self.spec.osds_per_host + d
+                self.osdmap.register_osd(osd_id, host)
+                self.fabric.register(f"osd.{osd_id}", host, KERNEL_TCP)
+                device = StorageDevice(
+                    env,
+                    self.spec.media,
+                    rng=self.rng.stream(f"dev.{osd_id}"),
+                    name=f"osd.{osd_id}",
+                )
+                daemon = OsdDaemon(env, osd_id, self.fabric, device, self.osdmap, self.spec.osd_config)
+                daemon.start()
+                self.daemons[osd_id] = daemon
+        # The monitor lives on the first server and can run heartbeats.
+        self.fabric.register("mon", self.server_hosts[0], KERNEL_TCP)
+        mon_messenger = Messenger(env, self.fabric, "mon")
+        mon_messenger.start()
+        self.monitor = Monitor(env, self.osdmap, self.daemons, messenger=mon_messenger)
+        self._clients: dict[str, RadosClient] = {}
+        #: registry of written objects for recovery/scrub helpers:
+        #: name -> (pool_id, length)
+        self.object_registry: dict[str, tuple[int, int]] = {}
+
+    # -- clients -------------------------------------------------------------
+
+    def new_client(self, name: str = "", stack: Optional[StackProfile] = None) -> RadosClient:
+        """Create (and start) a client entity on a client host."""
+        name = name or f"client{len(self._clients)}"
+        if name in self._clients:
+            raise StorageError(f"client {name!r} already exists")
+        host = self.client_hosts[len(self._clients) % len(self.client_hosts)]
+        self.fabric.register(name, host, stack or self.spec.client_stack)
+        client = RadosClient(self.env, self.fabric, self.osdmap, name)
+        client.start()
+        self._clients[name] = client
+        return client
+
+    def client(self, name: str) -> RadosClient:
+        """Lookup an existing client."""
+        if name not in self._clients:
+            raise StorageError(f"unknown client {name!r}")
+        return self._clients[name]
+
+    # -- pools ----------------------------------------------------------------
+
+    def create_replicated_pool(self, name: str, pg_num: int = 128, size: int = 3) -> Pool:
+        """Replicated pool over the cluster root (device-level domains)."""
+        return self.osdmap.create_replicated_pool(name, pg_num, size, self.root_id)
+
+    def create_erasure_pool(self, name: str, pg_num: int = 128, k: int = 4, m: int = 2) -> Pool:
+        """EC pool over the cluster root."""
+        return self.osdmap.create_erasure_pool(name, pg_num, k, m, self.root_id)
+
+    # -- expansion -----------------------------------------------------------------
+
+    def add_osd(self, server_host: str, weight: float = 1.0) -> int:
+        """Provision a new OSD on ``server_host``: device, daemon, CRUSH.
+
+        Returns the new OSD id; the epoch bumps so clients repeer.
+        """
+        if server_host not in self.server_hosts:
+            raise StorageError(f"unknown server host {server_host!r}")
+        dev_id = self.crush.add_device(f"osd.{len(self.crush.devices)}", weight)
+        host_index = self.server_hosts.index(server_host)
+        # Host buckets were created in server order before the root.
+        host_bucket = sorted(
+            (bid for bid, t in self.crush.bucket_types.items() if t == 1), reverse=True
+        )[host_index]
+        self.crush.add_device_to_bucket(host_bucket, dev_id)
+        self.osdmap.register_osd(dev_id, server_host)
+        self.fabric.register(f"osd.{dev_id}", server_host, KERNEL_TCP)
+        device = StorageDevice(
+            self.env, self.spec.media, rng=self.rng.stream(f"dev.{dev_id}"), name=f"osd.{dev_id}"
+        )
+        daemon = OsdDaemon(self.env, dev_id, self.fabric, device, self.osdmap, self.spec.osd_config)
+        daemon.start()
+        self.daemons[dev_id] = daemon
+        self.osdmap.epoch += 1
+        return dev_id
+
+    # -- failure injection --------------------------------------------------------
+
+    def fail_osd(self, osd_id: int) -> None:
+        """Kill an OSD (daemon stops; epoch bumps; CRUSH remaps)."""
+        self.monitor.fail_osd(osd_id)
+
+    def any_live_daemon(self) -> OsdDaemon:
+        """A live daemon usable as recovery helper."""
+        for osd_id in self.osdmap.up_osds():
+            return self.daemons[osd_id]
+        raise StorageError("no live OSDs")
+
+    # -- stats ----------------------------------------------------------------------
+
+    def total_ops_served(self) -> int:
+        """Sum of ops served by all OSDs."""
+        return sum(d.ops_served for d in self.daemons.values())
+
+
+def build_cluster(env: Environment, spec: Optional[ClusterSpec] = None) -> CephCluster:
+    """Convenience constructor (paper testbed by default)."""
+    return CephCluster(env, spec)

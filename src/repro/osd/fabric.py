@@ -1,0 +1,165 @@
+"""Entity-level messaging fabric over the simulated network.
+
+Entities ("client0", "osd.5", "mon") live on network hosts; the fabric
+routes messages between them, charging the sender's and receiver's TCP
+stack costs and the wire transfer.  Co-located entities (two OSDs on the
+same server) short-circuit through loopback at memory-copy cost.
+
+Long-lived connections are assumed (as in Ceph's messenger, which keeps
+sessions open), so no per-op handshake is charged.
+
+The :class:`Messenger` base class adds request/reply correlation: ops
+carry ids, replies resolve the matching pending event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..errors import NetworkError
+from ..sim import Environment, Event, Store
+from ..units import transfer_ns, us
+from .ops import OsdOp, OsdReply
+from ..net.message import Message
+from ..net.stack import KERNEL_TCP, StackProfile
+from ..net.topology import Network
+
+#: Loopback latency for same-host delivery.
+LOOPBACK_NS = us(2)
+#: Memory bandwidth used for loopback copies.
+LOOPBACK_BW = 10e9  # bytes/sec
+
+
+@dataclass
+class Envelope:
+    """What a receiver pulls from its fabric inbox."""
+
+    src: str
+    payload: Any
+    size: int
+
+
+class Fabric:
+    """Routes entity-to-entity messages across the network."""
+
+    def __init__(self, env: Environment, network: Network):
+        self.env = env
+        self.network = network
+        self._entity_host: dict[str, str] = {}
+        self._entity_stack: dict[str, StackProfile] = {}
+        self._inbox: dict[str, Store] = {}
+
+    def register(self, entity: str, host: str, stack: StackProfile = KERNEL_TCP) -> None:
+        """Bind an entity name to a network host and a TCP stack profile."""
+        if entity in self._entity_host:
+            raise NetworkError(f"entity {entity!r} already registered")
+        self.network.host(host)  # validate
+        self._entity_host[entity] = host
+        self._entity_stack[entity] = stack
+        self._inbox[entity] = Store(self.env, name=f"fabric:{entity}")
+
+    def set_stack(self, entity: str, stack: StackProfile) -> None:
+        """Swap an entity's stack profile (framework configuration)."""
+        if entity not in self._entity_stack:
+            raise NetworkError(f"unknown entity {entity!r}")
+        self._entity_stack[entity] = stack
+
+    def host_of(self, entity: str) -> str:
+        """Network host an entity lives on."""
+        if entity not in self._entity_host:
+            raise NetworkError(f"unknown entity {entity!r}")
+        return self._entity_host[entity]
+
+    def send(self, src: str, dst: str, nbytes: int, payload: Any) -> Generator:
+        """Process: deliver ``payload`` from ``src`` to ``dst``.
+
+        Completes when the receiver's stack has processed the message and
+        it sits in the destination inbox.
+        """
+        src_host = self.host_of(src)
+        dst_host = self.host_of(dst)
+        if src_host == dst_host:
+            yield self.env.timeout(LOOPBACK_NS + transfer_ns(nbytes, LOOPBACK_BW))
+        else:
+            yield self.env.timeout(self._entity_stack[src].tx_ns(nbytes))
+            msg = Message(src_host, dst_host, nbytes, payload=(src, dst))
+            yield self.env.process(self.network.send(msg))
+            yield self.network.host(dst_host).inbox.get(lambda m: m.msg_id == msg.msg_id)
+            yield self.env.timeout(self._entity_stack[dst].rx_ns(nbytes))
+        yield self._inbox[dst].put(Envelope(src, payload, nbytes))
+
+    def send_async(self, src: str, dst: str, nbytes: int, payload: Any):
+        """Fire-and-forget send (returns the delivery process event)."""
+        return self.env.process(self.send(src, dst, nbytes, payload), name=f"{src}->{dst}")
+
+    def recv(self, entity: str):
+        """Event yielding the next :class:`Envelope` for ``entity``."""
+        if entity not in self._inbox:
+            raise NetworkError(f"unknown entity {entity!r}")
+        return self._inbox[entity].get()
+
+
+class Messenger:
+    """Request/reply correlation for one entity on the fabric."""
+
+    def __init__(self, env: Environment, fabric: Fabric, entity: str):
+        self.env = env
+        self.fabric = fabric
+        self.entity = entity
+        self._pending: dict[int, Event] = {}
+        self._loop_proc = None
+
+    def start(self) -> None:
+        """Spawn the demux loop (idempotent)."""
+        if self._loop_proc is None:
+            self._loop_proc = self.env.process(self._demux(), name=f"msgr:{self.entity}")
+
+    def stop(self) -> None:
+        """Kill the demux loop (simulates entity crash)."""
+        if self._loop_proc is not None and self._loop_proc.is_alive:
+            self._loop_proc.interrupt("stopped")
+        self._loop_proc = None
+
+    def _demux(self) -> Generator:
+        while True:
+            envelope = yield self.fabric.recv(self.entity)
+            payload = envelope.payload
+            if isinstance(payload, OsdReply):
+                pending = self._pending.pop(payload.op_id, None)
+                if pending is not None:
+                    pending.succeed(payload)
+            else:
+                self.env.process(
+                    self.on_request(payload, envelope.src),
+                    name=f"{self.entity}:op{getattr(payload, 'op_id', '?')}",
+                )
+
+    def call(self, dst: str, op: OsdOp, timeout_ns: Optional[int] = None) -> Generator:
+        """Process: send ``op`` and wait for its reply (returned).
+
+        With ``timeout_ns``, a reply that does not arrive in time yields
+        a synthetic failed :class:`OsdReply` with error "timeout" — the
+        caller decides whether to retry against a newer map.
+        """
+        ev = self.env.event()
+        self._pending[op.op_id] = ev
+        yield from self.fabric.send(self.entity, dst, op.wire_size(), op)
+        if timeout_ns is None:
+            reply = yield ev
+            return reply
+        deadline = self.env.timeout(timeout_ns)
+        results = yield self.env.any_of([ev, deadline])
+        if ev in results:
+            return results[ev]
+        self._pending.pop(op.op_id, None)
+        return OsdReply(op.op_id, False, error=f"timeout after {timeout_ns} ns")
+
+    def reply_to(self, dst: str, reply: OsdReply) -> Generator:
+        """Process: send a reply back to the requester."""
+        yield from self.fabric.send(self.entity, dst, reply.wire_size(), reply)
+
+    def on_request(self, op: OsdOp, src: str) -> Generator:
+        """Handle an incoming request (override in daemons)."""
+        raise NotImplementedError(f"{self.entity} received unexpected request {op!r}")
+        yield  # pragma: no cover

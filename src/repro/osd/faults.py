@@ -1,0 +1,88 @@
+"""Gray-failure injection: slow devices, degraded links, flaky OSDs.
+
+Enterprise clusters (the paper's deployment context) suffer *gray*
+failures — components that respond, just slowly — which inflate tail
+latency long before the monitor declares anything down.  This module
+injects such faults into a live cluster so their p99 impact, and the
+effectiveness of marking the culprit out, can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import StorageError
+from .storage import MediaProfile, StorageDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import CephCluster
+
+
+def _scaled_profile(profile: MediaProfile, factor: float) -> MediaProfile:
+    """A media profile slowed down by ``factor``."""
+    return MediaProfile(
+        name=f"{profile.name}-slow{factor:g}x",
+        seq_read_ns=int(profile.seq_read_ns * factor),
+        rand_read_ns=int(profile.rand_read_ns * factor),
+        seq_write_ns=int(profile.seq_write_ns * factor),
+        rand_write_ns=int(profile.rand_write_ns * factor),
+        read_bw=profile.read_bw / factor,
+        write_bw=profile.write_bw / factor,
+        channels=profile.channels,
+        readahead_hit_ns=int(profile.readahead_hit_ns * factor),
+        jitter_sigma=profile.jitter_sigma,
+    )
+
+
+@dataclass
+class FaultInjector:
+    """Applies and reverts gray faults on a cluster."""
+
+    cluster: "CephCluster"
+    _original_profiles: dict[int, MediaProfile] = field(default_factory=dict)
+    _original_bandwidth: dict[str, float] = field(default_factory=dict)
+
+    def slow_device(self, osd_id: int, factor: float) -> None:
+        """Multiply one OSD's media latencies by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise StorageError(f"slowdown factor must be >= 1, got {factor}")
+        daemon = self.cluster.daemons.get(osd_id)
+        if daemon is None:
+            raise StorageError(f"unknown osd.{osd_id}")
+        device: StorageDevice = daemon.device
+        self._original_profiles.setdefault(osd_id, device.profile)
+        device.profile = _scaled_profile(self._original_profiles[osd_id], factor)
+
+    def restore_device(self, osd_id: int) -> None:
+        """Undo a device slowdown."""
+        original = self._original_profiles.pop(osd_id, None)
+        if original is None:
+            raise StorageError(f"osd.{osd_id} has no injected fault")
+        self.cluster.daemons[osd_id].device.profile = original
+
+    def degrade_host_link(self, host: str, factor: float) -> None:
+        """Divide a host's up/down link bandwidth by ``factor``."""
+        if factor < 1.0:
+            raise StorageError(f"degradation factor must be >= 1, got {factor}")
+        node = self.cluster.network.host(host)
+        for link in (node.uplink, node.downlink):
+            self._original_bandwidth.setdefault(link.name, link.bandwidth_bps)
+            link.bandwidth_bps = self._original_bandwidth[link.name] / factor
+
+    def restore_host_link(self, host: str) -> None:
+        """Undo a link degradation."""
+        node = self.cluster.network.host(host)
+        restored = False
+        for link in (node.uplink, node.downlink):
+            original = self._original_bandwidth.pop(link.name, None)
+            if original is not None:
+                link.bandwidth_bps = original
+                restored = True
+        if not restored:
+            raise StorageError(f"host {host!r} has no injected link fault")
+
+    @property
+    def active_faults(self) -> int:
+        """Number of faults currently injected."""
+        return len(self._original_profiles) + len(self._original_bandwidth)

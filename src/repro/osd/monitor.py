@@ -1,0 +1,196 @@
+"""The monitor: cluster membership authority and recovery coordinator.
+
+Publishes OSDMap epochs; on failure it marks the OSD down+out (bumping
+the epoch so client placement caches invalidate) and can drive recovery:
+re-replicating / reconstructing the objects the lost OSD held onto the
+new acting sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..crush import CRUSH_ITEM_NONE, PlacementEngine
+from ..errors import StorageError
+from ..sim import Environment
+from .ops import OpKind, OsdOp
+from .osd import OsdDaemon, shard_object_name
+from .osdmap import OSDMap, Pool, PoolType
+
+
+@dataclass
+class RecoveryStats:
+    """Outcome of one recovery pass."""
+
+    objects_examined: int = 0
+    objects_recovered: int = 0
+    bytes_moved: int = 0
+
+
+class Monitor:
+    """Membership and recovery controller.
+
+    When given a fabric messenger (the ``mon`` entity), the monitor can
+    run **heartbeats**: periodic PING ops to every up OSD; an OSD that
+    misses its reply deadline is declared down (epoch bump), so failures
+    are *detected*, not just operator-injected.
+    """
+
+    def __init__(self, env: Environment, osdmap: OSDMap, daemons: dict[int, OsdDaemon],
+                 messenger=None):
+        self.env = env
+        self.osdmap = osdmap
+        self.daemons = daemons
+        self.messenger = messenger
+        self._heartbeat_proc = None
+        self.failures_detected: list[int] = []
+
+    # -- heartbeats --------------------------------------------------------------
+
+    def start_heartbeats(self, interval_ns: int, grace_ns: int) -> None:
+        """Begin probing every up OSD each ``interval_ns``; an OSD whose
+        PING reply misses ``grace_ns`` is marked down."""
+        if self.messenger is None:
+            raise StorageError("heartbeats need a fabric messenger (mon entity)")
+        if self._heartbeat_proc is not None:
+            raise StorageError("heartbeats already running")
+        self._heartbeat_proc = self.env.process(
+            self._heartbeat_loop(interval_ns, grace_ns), name="mon.heartbeat"
+        )
+
+    def stop_heartbeats(self) -> None:
+        """Stop the probe loop."""
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.interrupt("stopped")
+        self._heartbeat_proc = None
+
+    def _heartbeat_loop(self, interval_ns: int, grace_ns: int):
+        from .ops import OpKind, OsdOp  # local import avoids a cycle at module load
+
+        while True:
+            yield self.env.timeout(interval_ns)
+            probes = {
+                osd_id: self.env.process(
+                    self.messenger.call(
+                        f"osd.{osd_id}", OsdOp(OpKind.PING, 0, "ping"), timeout_ns=grace_ns
+                    ),
+                    name=f"hb.{osd_id}",
+                )
+                for osd_id in self.osdmap.up_osds()
+            }
+            if not probes:
+                continue
+            results = yield self.env.all_of(list(probes.values()))
+            for osd_id, proc in probes.items():
+                reply = results[proc]
+                if not reply.ok and self.osdmap.osds[osd_id].up:
+                    self.osdmap.mark_down(osd_id)
+                    self.failures_detected.append(osd_id)
+
+    def fail_osd(self, osd_id: int) -> None:
+        """Declare an OSD dead: stop its daemon and publish a new epoch."""
+        daemon = self.daemons.get(osd_id)
+        if daemon is None:
+            raise StorageError(f"unknown osd.{osd_id}")
+        daemon.stop()
+        self.osdmap.mark_down(osd_id)
+
+    def revive_osd(self, osd_id: int) -> None:
+        """Bring a previously failed OSD back (empty store, must backfill)."""
+        daemon = self.daemons.get(osd_id)
+        if daemon is None:
+            raise StorageError(f"unknown osd.{osd_id}")
+        daemon.start()
+        self.osdmap.mark_up(osd_id)
+
+    def recover_pool(self, pool: Pool, helper_daemon: OsdDaemon) -> Generator:
+        """Process: restore full durability for every object in ``pool``.
+
+        ``helper_daemon`` is any live OSD used to perform reads/writes of
+        missing copies (a stand-in for Ceph's per-PG recovery agents).
+        Returns :class:`RecoveryStats`.
+        """
+        stats = RecoveryStats()
+        placement = PlacementEngine(self.osdmap.crush)
+        live = {o: self.daemons[o] for o in self.osdmap.up_osds()}
+        # Collect every logical object known to any live OSD in this pool.
+        names: set[str] = set()
+        for daemon in live.values():
+            for key in daemon.store.object_names():
+                base = key.split(".s")[0] if pool.pool_type == PoolType.ERASURE else key
+                names.add(base)
+        for name in sorted(names):
+            stats.objects_examined += 1
+            acting = placement.object_to_osds(
+                pool.pool_id, name, pool.pg_num, pool.rule, pool.size
+            )[1]
+            if pool.pool_type == PoolType.REPLICATED:
+                moved = yield from self._recover_replicated(name, acting, live, helper_daemon)
+            else:
+                moved = yield from self._recover_ec(pool, name, acting, live, helper_daemon)
+            if moved:
+                stats.objects_recovered += 1
+                stats.bytes_moved += moved
+        return stats
+
+    def _recover_replicated(self, name, acting, live, helper) -> Generator:
+        holders = [o for o in live if name in live[o].store]
+        if not holders:
+            return 0
+        source = holders[0]
+        data = live[source].store.read(name, 0, live[source].store.object_size(name))
+        moved = 0
+        for target in acting:
+            if target == CRUSH_ITEM_NONE or target in holders or target not in live:
+                continue
+            op = OsdOp(
+                OpKind.WRITE_DIRECT,
+                0,
+                name,
+                0,
+                len(data),
+                data=data,
+                epoch=self.osdmap.epoch,
+            )
+            yield from helper.call(f"osd.{target}", op)
+            moved += len(data)
+        return moved
+
+    def _recover_ec(self, pool: Pool, name, acting, live, helper) -> Generator:
+        codec = helper.codec_for(pool.pool_id)
+        # Gather surviving shards from live OSDs.
+        shards: list = [None] * pool.size
+        for rank in range(pool.size):
+            key = shard_object_name(name, rank)
+            for osd_id, daemon in live.items():
+                if key in daemon.store:
+                    shards[rank] = daemon.store.read(key, 0, daemon.store.object_size(key))
+                    break
+        present = sum(1 for s in shards if s is not None)
+        if present < pool.k:
+            raise StorageError(f"object {name!r} unrecoverable: {present} < k={pool.k}")
+        moved = 0
+        for rank, target in enumerate(acting):
+            if target == CRUSH_ITEM_NONE or target not in live:
+                continue
+            key = shard_object_name(name, rank)
+            if key in live[target].store:
+                continue
+            shard = shards[rank]
+            if shard is None:
+                shard = codec.reconstruct_shard(shards, rank)
+                shards[rank] = shard
+            op = OsdOp(
+                OpKind.SHARD_WRITE,
+                pool.pool_id,
+                name,
+                0,
+                len(shard),
+                data=shard,
+                shard=rank,
+                epoch=self.osdmap.epoch,
+            )
+            yield from helper.call(f"osd.{target}", op)
+            moved += len(shard)
+        return moved

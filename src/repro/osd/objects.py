@@ -1,0 +1,113 @@
+"""In-memory object store backing one OSD (a miniature BlueStore).
+
+Objects are sparse byte buffers addressed by name; reads beyond written
+extents return zeros (like a filesystem hole).  Data is stored for real
+so integrity round-trips (including EC reconstruction) are verifiable in
+tests.
+
+Like BlueStore, every write refreshes a stored whole-object checksum, so
+scrub can tell *which* copy rotted even in 2-replica pools where a
+majority vote ties.  Fault-injection corrupts via :meth:`corrupt`, which
+bypasses the checksum update (that is what silent media corruption is).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import StorageError
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ObjectStore:
+    """name -> sparse bytearray, with usage accounting and checksums."""
+
+    def __init__(self, capacity_bytes: int | None = None):
+        self._objects: dict[str, bytearray] = {}
+        self._checksums: dict[str, str] = {}
+        self.capacity_bytes = capacity_bytes
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes across all objects (allocated extents)."""
+        return sum(len(buf) for buf in self._objects.values())
+
+    def object_names(self) -> list[str]:
+        """Sorted object names (for scrub/recovery iteration)."""
+        return sorted(self._objects)
+
+    def object_size(self, name: str) -> int:
+        """Current size of an object (0 if absent)."""
+        buf = self._objects.get(name)
+        return len(buf) if buf is not None else 0
+
+    def write(self, name: str, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, growing the object as needed."""
+        if offset < 0:
+            raise StorageError(f"negative write offset {offset}")
+        if self.capacity_bytes is not None:
+            projected = self.used_bytes + max(0, offset + len(data) - self.object_size(name))
+            if projected > self.capacity_bytes:
+                raise StorageError(
+                    f"device full: {projected} > capacity {self.capacity_bytes}"
+                )
+        buf = self._objects.setdefault(name, bytearray())
+        end = offset + len(data)
+        if len(buf) < end:
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+        self._checksums[name] = _digest(bytes(buf))
+
+    def read(self, name: str, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``; holes and EOF read as zeros."""
+        if offset < 0 or length < 0:
+            raise StorageError(f"invalid read extent ({offset}, {length})")
+        buf = self._objects.get(name)
+        if buf is None:
+            raise StorageError(f"no such object {name!r}")
+        chunk = bytes(buf[offset : offset + length])
+        if len(chunk) < length:
+            chunk += b"\x00" * (length - len(chunk))
+        return chunk
+
+    def delete(self, name: str) -> None:
+        """Remove an object."""
+        if name not in self._objects:
+            raise StorageError(f"no such object {name!r}")
+        del self._objects[name]
+        self._checksums.pop(name, None)
+
+    # -- integrity -------------------------------------------------------------
+
+    def corrupt(self, name: str, offset: int, junk: bytes) -> None:
+        """Fault injection: alter stored bytes WITHOUT updating the
+        checksum — silent media corruption."""
+        buf = self._objects.get(name)
+        if buf is None:
+            raise StorageError(f"no such object {name!r}")
+        end = offset + len(junk)
+        if len(buf) < end:
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = junk
+
+    def stored_checksum(self, name: str) -> str:
+        """The checksum recorded at last legitimate write."""
+        if name not in self._checksums:
+            raise StorageError(f"no checksum for object {name!r}")
+        return self._checksums[name]
+
+    def verify(self, name: str) -> bool:
+        """True when current content matches the stored checksum."""
+        buf = self._objects.get(name)
+        if buf is None:
+            raise StorageError(f"no such object {name!r}")
+        return _digest(bytes(buf)) == self._checksums.get(name)

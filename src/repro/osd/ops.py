@@ -1,0 +1,67 @@
+"""RADOS-style operation and reply messages."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+#: Serialized header bytes per op/reply (MOSDOp envelope).
+OP_HEADER_BYTES = 200
+
+_op_ids = itertools.count(1)
+
+
+class OpKind(Enum):
+    """Operation types understood by an OSD."""
+
+    READ = "read"  # replicated read from primary
+    WRITE = "write"  # replicated write via primary (primary fans out)
+    WRITE_DIRECT = "write_direct"  # one replica written directly (DeLiBA client fan-out)
+    REP_WRITE = "rep_write"  # primary -> replica sub-op
+    SHARD_WRITE = "shard_write"  # one EC shard written directly
+    SHARD_READ = "shard_read"  # one EC shard read
+    EC_WRITE = "ec_write"  # EC write via primary (primary encodes + fans out)
+    EC_READ = "ec_read"  # EC read via primary (primary gathers + decodes)
+    DELETE = "delete"
+    PING = "ping"  # liveness probe (heartbeats)
+
+
+@dataclass
+class OsdOp:
+    """A client (or peer) request to one OSD."""
+
+    kind: OpKind
+    pool_id: int
+    object_name: str
+    offset: int = 0
+    length: int = 0
+    data: Optional[bytes] = None
+    #: Acting set computed by the sender (Ceph clients address by map).
+    acting: tuple[int, ...] = ()
+    #: Shard index for EC shard ops.
+    shard: int = -1
+    #: Write-pattern hint for the media model.
+    sequential: bool = False
+    epoch: int = 0
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+
+    def wire_size(self) -> int:
+        """Bytes this op occupies on the network."""
+        return OP_HEADER_BYTES + (len(self.data) if self.data is not None else 0)
+
+
+@dataclass
+class OsdReply:
+    """Completion sent back to the requester."""
+
+    op_id: int
+    ok: bool
+    data: Optional[bytes] = None
+    error: str = ""
+    epoch: int = 0
+
+    def wire_size(self) -> int:
+        """Bytes this reply occupies on the network."""
+        return OP_HEADER_BYTES + (len(self.data) if self.data is not None else 0)

@@ -1,0 +1,191 @@
+"""Zoned block devices: ZNS SSDs and host-managed SMR HDDs.
+
+The UIFD driver advertises support for "emerging local storage such as
+ZNS and SMR disks" (paper Section III-B; the authors had physical SMR
+drives and ran tests on them, with ZNS left out of scope — footnote 3).
+This module models the device-side semantics those drives impose:
+
+* the LBA space splits into fixed-size **zones**;
+* writes within a zone must land exactly at the zone's **write
+  pointer** (sequential-only); ``zone_append`` lets the device pick the
+  offset;
+* zones are reset as a unit, and only a bounded number may be open.
+
+:class:`ZonedDevice` wraps the media model with this state machine, so
+an OSD (or the UIFD driver) can be exercised against zone-append
+semantics and the SMR random-write penalty falls out of conformance
+instead of a magic constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Generator
+
+from ..errors import StorageError
+from ..sim import Environment, RngStream
+from ..units import mib, us
+from .storage import SMR_HDD, MediaProfile, StorageDevice
+
+
+class ZoneState(Enum):
+    """Lifecycle of one zone."""
+
+    EMPTY = "empty"
+    OPEN = "open"
+    FULL = "full"
+    OFFLINE = "offline"
+
+
+@dataclass
+class Zone:
+    """One sequential-write-required zone."""
+
+    index: int
+    start: int  # byte offset of the zone
+    length: int
+    write_pointer: int = 0  # bytes written so far
+    state: ZoneState = ZoneState.EMPTY
+
+    @property
+    def remaining(self) -> int:
+        """Writable bytes before the zone is full."""
+        return self.length - self.write_pointer
+
+
+class ZonedDevice:
+    """A zoned drive: media model + zone state machine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int,
+        zone_size: int = mib(256),
+        max_open_zones: int = 14,
+        profile: MediaProfile = SMR_HDD,
+        rng: RngStream | None = None,
+        name: str = "zoned0",
+        reset_ns: int = us(500),
+    ):
+        if capacity < zone_size or capacity % zone_size:
+            raise StorageError(
+                f"capacity {capacity} must be a positive multiple of zone size {zone_size}"
+            )
+        if max_open_zones < 1:
+            raise StorageError(f"max_open_zones must be >= 1, got {max_open_zones}")
+        self.env = env
+        self.zone_size = zone_size
+        self.max_open_zones = max_open_zones
+        self.reset_ns = reset_ns
+        self.media = StorageDevice(env, profile, rng=rng, name=name)
+        self.zones = [
+            Zone(i, i * zone_size, zone_size) for i in range(capacity // zone_size)
+        ]
+        self.appends = 0
+        self.resets = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def zone_of(self, offset: int) -> Zone:
+        """Zone containing byte ``offset``."""
+        if not 0 <= offset < len(self.zones) * self.zone_size:
+            raise StorageError(f"offset {offset} outside the device")
+        return self.zones[offset // self.zone_size]
+
+    @property
+    def open_zones(self) -> list[Zone]:
+        """Zones currently open for writing."""
+        return [z for z in self.zones if z.state == ZoneState.OPEN]
+
+    def _ensure_open(self, zone: Zone) -> None:
+        if zone.state == ZoneState.OFFLINE:
+            raise StorageError(f"zone {zone.index} is offline")
+        if zone.state == ZoneState.FULL:
+            raise StorageError(f"zone {zone.index} is full; reset before rewriting")
+        if zone.state == ZoneState.EMPTY:
+            if len(self.open_zones) >= self.max_open_zones:
+                raise StorageError(
+                    f"cannot open zone {zone.index}: {self.max_open_zones} zones already open"
+                )
+            zone.state = ZoneState.OPEN
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def write(self, offset: int, length: int) -> Generator:
+        """Process: sequential write at exactly the zone's write pointer.
+
+        Raises :class:`StorageError` on any non-sequential write — the
+        conformance rule that makes SMR/ZNS random writes impossible
+        without a translation layer.
+        """
+        if length <= 0:
+            raise StorageError(f"write length must be > 0, got {length}")
+        zone = self.zone_of(offset)
+        self._ensure_open(zone)
+        expected = zone.start + zone.write_pointer
+        if offset != expected:
+            raise StorageError(
+                f"unaligned zone write: offset {offset}, write pointer at {expected}"
+            )
+        if length > zone.remaining:
+            raise StorageError(
+                f"write of {length} B exceeds zone {zone.index} remaining {zone.remaining} B"
+            )
+        yield from self.media.write(f"zone{zone.index}", zone.write_pointer, length, True)
+        zone.write_pointer += length
+        if zone.write_pointer == zone.length:
+            zone.state = ZoneState.FULL
+
+    def zone_append(self, zone_index: int, length: int) -> Generator:
+        """Process: device-chosen-offset append; returns the byte offset.
+
+        The primitive ZNS adds so multiple writers need not serialize on
+        the write pointer.
+        """
+        if not 0 <= zone_index < len(self.zones):
+            raise StorageError(f"no zone {zone_index}")
+        zone = self.zones[zone_index]
+        self._ensure_open(zone)
+        if length <= 0 or length > zone.remaining:
+            raise StorageError(
+                f"append of {length} B invalid for zone {zone_index} "
+                f"(remaining {zone.remaining} B)"
+            )
+        offset = zone.start + zone.write_pointer
+        zone.write_pointer += length
+        if zone.write_pointer == zone.length:
+            zone.state = ZoneState.FULL
+        yield from self.media.write(f"zone{zone.index}", offset - zone.start, length, True)
+        self.appends += 1
+        return offset
+
+    def read(self, offset: int, length: int) -> Generator:
+        """Process: read below the write pointer."""
+        zone = self.zone_of(offset)
+        end = offset + length
+        if end > zone.start + zone.write_pointer:
+            raise StorageError(
+                f"read beyond write pointer in zone {zone.index} "
+                f"({end} > {zone.start + zone.write_pointer})"
+            )
+        yield from self.media.read(f"zone{zone.index}", offset - zone.start, length)
+
+    def reset_zone(self, zone_index: int) -> Generator:
+        """Process: rewind a zone to empty (the only way to reuse it)."""
+        if not 0 <= zone_index < len(self.zones):
+            raise StorageError(f"no zone {zone_index}")
+        zone = self.zones[zone_index]
+        if zone.state == ZoneState.OFFLINE:
+            raise StorageError(f"zone {zone_index} is offline")
+        yield self.env.timeout(self.reset_ns)
+        zone.write_pointer = 0
+        zone.state = ZoneState.EMPTY
+        self.resets += 1
+
+    def finish_zone(self, zone_index: int) -> None:
+        """Force a zone to FULL (stop accepting writes without filling it)."""
+        zone = self.zones[zone_index]
+        if zone.state not in (ZoneState.OPEN, ZoneState.EMPTY):
+            raise StorageError(f"cannot finish zone {zone_index} in state {zone.state}")
+        zone.state = ZoneState.FULL

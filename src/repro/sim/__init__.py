@@ -1,0 +1,32 @@
+"""From-scratch discrete-event simulation kernel.
+
+Public surface: :class:`Environment` (clock + event queue), generator
+processes, :class:`Resource`/:class:`Semaphore` for counted servers,
+:class:`Store`/:class:`FilterStore` mailboxes, deterministic RNG streams,
+and measurement monitors.
+"""
+
+from .core import Condition, Environment, Event, Process, Timeout
+from .monitor import Counter, LatencyRecorder, ThroughputMeter, TimeSeries
+from .resources import Request, Resource, Semaphore
+from .rng import RngRegistry, RngStream
+from .store import FilterStore, Store
+
+__all__ = [
+    "Condition",
+    "Counter",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "LatencyRecorder",
+    "Process",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "RngStream",
+    "Semaphore",
+    "Store",
+    "ThroughputMeter",
+    "TimeSeries",
+    "Timeout",
+]

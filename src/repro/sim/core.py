@@ -1,0 +1,362 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES engine in the style of SimPy,
+written from scratch for this reproduction.  Simulated *processes* are
+Python generators that ``yield`` :class:`Event` objects; the
+:class:`Environment` advances an integer nanosecond clock and resumes each
+process when the event it waits on fires.
+
+Determinism guarantees
+----------------------
+Events scheduled for the same timestamp are processed in FIFO order of
+scheduling (a monotonically increasing sequence number breaks ties), so a
+simulation run is a pure function of its inputs and RNG seeds.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5)
+...     return env.now
+>>> p = env.process(hello(env))
+>>> env.run()
+>>> p.value
+5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import ProcessKilled, SimulationError
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for high-urgency events (processed first at equal time).
+URGENT = 0
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once a value or an
+    exception is set and it has been scheduled, and *processed* after its
+    callbacks have run.  Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after triggering)."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if it failed)."""
+        if not self._triggered:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, delay=delay, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception that propagates to waiters."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None, priority: int = NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay=delay, priority=priority)
+
+
+class Initialize(Event):
+    """Internal event that starts a process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self._triggered = True
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process event itself triggers when the generator returns (value =
+    its return value) or raises (the exception propagates to waiters).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process() needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessKilled` into the process at its wait point."""
+        if self._triggered:
+            return
+        if self._target is not None and self is not self.env.active_process:
+            # Detach from the event we were waiting on.
+            if self._target.callbacks is not None and self._resume in self._target.callbacks:
+                self._target.callbacks.remove(self._resume)
+            # A queued resource claim must be withdrawn, or the slot is
+            # granted to a dead process and leaks forever.
+            canceller = getattr(self._target, "_cancel_on_interrupt", None)
+            if canceller is not None:
+                canceller()
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = ProcessKilled(cause)
+        interrupt_ev._triggered = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.env._schedule(interrupt_ev, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's value."""
+        if self._triggered:
+            # Already finished (e.g. interrupted before a stale event it
+            # once waited on fired) — never resume a closed generator.
+            return
+        env = self.env
+        env._active = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active = None
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as exc:
+            env._active = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            env._active = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        env._active = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        if target.env is not env:
+            raise SimulationError(f"process {self.name!r} yielded an event from another Environment")
+        if target._processed:
+            # Already fired: resume immediately (at current time).
+            resume_ev = Event(env)
+            resume_ev._ok = target._ok
+            resume_ev._value = target._value
+            resume_ev._triggered = True
+            resume_ev.callbacks.append(self._resume)
+            env._schedule(resume_ev, priority=URGENT)
+            self._target = resume_ev
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
+
+
+class Environment:
+    """Owns the event queue and the simulated clock (integer nanoseconds)."""
+
+    def __init__(self, initial_time: int = 0):
+        self._now = int(initial_time)
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> "Condition":
+        """Event that fires when any of ``events`` has fired."""
+        return Condition(self, list(events), Condition.any_done)
+
+    def all_of(self, events: Iterable[Event]) -> "Condition":
+        """Event that fires when all of ``events`` have fired."""
+        return Condition(self, list(events), Condition.all_done)
+
+    # -- execution ---------------------------------------------------------------
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok and not isinstance(event._value, ProcessKilled):
+            # A failed event nobody waited on: surface the error rather than
+            # silently dropping it.
+            raise event._value
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        If ``until`` is given, the clock is left exactly at ``until`` even
+        when the queue drains earlier.
+        """
+        if until is not None:
+            until = int(until)
+            if until < self._now:
+                raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+
+class Condition(Event):
+    """Composite event over a list of child events (any-of / all-of)."""
+
+    __slots__ = ("_events", "_check", "_count")
+
+    def __init__(self, env: Environment, events: list[Event], check: Callable[[int, int], bool]):
+        super().__init__(env)
+        self._events = events
+        self._check = check
+        self._count = 0
+        if not events:
+            self.succeed({})
+            return
+        for ev in events:
+            if ev._processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    @staticmethod
+    def any_done(done: int, total: int) -> bool:
+        return done >= 1
+
+    @staticmethod
+    def all_done(done: int, total: int) -> bool:
+        return done >= total
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._check(self._count, len(self._events)):
+            self.succeed({ev: ev._value for ev in self._events if ev._processed and ev._ok})

@@ -1,0 +1,137 @@
+"""Measurement primitives: counters, latency recorders, time series.
+
+These collect raw observations during a simulation run; summary statistics
+(mean, percentiles, rates) are computed lazily with NumPy so the hot path
+stays an O(1) append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..units import MB, SEC
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        """Increment by ``n``."""
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name!r}={self.value}>"
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies (integer ns) for one metric."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        """Append one latency observation."""
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded operations."""
+        return len(self.samples)
+
+    def mean_us(self) -> float:
+        """Mean latency in microseconds (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return float(np.mean(self.samples)) / 1_000.0
+
+    def percentile_us(self, q: float) -> float:
+        """The ``q``-th percentile latency in microseconds."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.samples), q)) / 1_000.0
+
+    def max_us(self) -> float:
+        """Maximum latency in microseconds."""
+        return max(self.samples) / 1_000.0 if self.samples else 0.0
+
+    def min_us(self) -> float:
+        """Minimum latency in microseconds."""
+        return min(self.samples) / 1_000.0 if self.samples else 0.0
+
+
+class ThroughputMeter:
+    """Tracks completed operations and bytes over a measurement window."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.ops = 0
+        self.bytes = 0
+        self.start_ns: Optional[int] = None
+        self.end_ns: Optional[int] = None
+
+    def start(self, now_ns: int) -> None:
+        """Open the measurement window."""
+        self.start_ns = now_ns
+
+    def record(self, nbytes: int, now_ns: int) -> None:
+        """Record one completed operation of ``nbytes`` at time ``now_ns``."""
+        if self.start_ns is None:
+            self.start_ns = now_ns
+        self.ops += 1
+        self.bytes += nbytes
+        self.end_ns = now_ns
+
+    @property
+    def elapsed_ns(self) -> int:
+        """Window length in ns (0 before two observations)."""
+        if self.start_ns is None or self.end_ns is None:
+            return 0
+        return max(0, self.end_ns - self.start_ns)
+
+    def mb_per_sec(self, elapsed_ns: Optional[int] = None) -> float:
+        """Decimal MB/s over the window (or an explicit duration)."""
+        dur = self.elapsed_ns if elapsed_ns is None else elapsed_ns
+        if dur <= 0:
+            return 0.0
+        return (self.bytes / MB) / (dur / SEC)
+
+    def kiops(self, elapsed_ns: Optional[int] = None) -> float:
+        """Thousands of IOPS over the window (or an explicit duration)."""
+        dur = self.elapsed_ns if elapsed_ns is None else elapsed_ns
+        if dur <= 0:
+            return 0.0
+        return (self.ops / 1_000.0) / (dur / SEC)
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples, e.g. queue depth over time."""
+
+    name: str = ""
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, now_ns: int, value: float) -> None:
+        """Append one sample."""
+        self.times.append(now_ns)
+        self.values.append(value)
+
+    def time_weighted_mean(self) -> float:
+        """Mean of the piecewise-constant signal defined by the samples."""
+        if len(self.times) < 2:
+            return self.values[0] if self.values else 0.0
+        t = np.asarray(self.times, dtype=np.float64)
+        v = np.asarray(self.values, dtype=np.float64)
+        dt = np.diff(t)
+        total = float(dt.sum())
+        if total <= 0:
+            return float(v.mean())
+        return float((v[:-1] * dt).sum() / total)

@@ -1,0 +1,156 @@
+"""Shared-resource primitives for the DES kernel.
+
+:class:`Resource` models a server with fixed capacity and a FIFO (or
+priority) wait queue — used for CPU cores, device channels, PCIe credits,
+and the like.  Requests are events; a process does::
+
+    req = resource.request()
+    yield req
+    ...   # holding one slot
+    resource.release(req)
+
+or, with automatic release, ``yield from resource.using(duration)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator
+
+from ..errors import SimulationError
+from .core import Environment, Event
+
+
+class Request(Event):
+    """A pending claim on one unit of a :class:`Resource`."""
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._order = next(resource._counter)
+
+    def __lt__(self, other: "Request") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+    def _cancel_on_interrupt(self) -> None:
+        """Withdraw this claim when the waiting process is interrupted
+        (hook called by :meth:`Process.interrupt`)."""
+        if not self.triggered:
+            self.resource.cancel(self)
+
+
+class Resource:
+    """A counted resource with ``capacity`` slots and a priority/FIFO queue.
+
+    Lower ``priority`` values are served first; equal priorities are FIFO.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._waiting: list[Request] = []
+        self._counter = itertools.count()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim one slot; the returned event fires once granted."""
+        req = Request(self, priority)
+        if len(self._users) < self.capacity and not self._waiting:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            heapq.heappush(self._waiting, req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        if request not in self._users:
+            raise SimulationError(f"release() of a request not holding {self.name or 'resource'}")
+        self._users.remove(request)
+        self._grant_next()
+
+    def cancel(self, request: Request) -> None:
+        """Abandon a request that has not been granted yet."""
+        if request in self._users:
+            raise SimulationError("cancel() on a granted request; use release()")
+        try:
+            self._waiting.remove(request)
+            heapq.heapify(self._waiting)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            req = heapq.heappop(self._waiting)
+            if req.triggered:  # cancelled or interrupted
+                continue
+            self._users.add(req)
+            req.succeed(req)
+
+    def using(self, duration: int, priority: int = 0) -> Generator[Event, Any, None]:
+        """Hold one slot for ``duration`` ns (acquire, wait, release)."""
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name!r} {len(self._users)}/{self.capacity} busy,"
+            f" {len(self._waiting)} waiting>"
+        )
+
+
+class Semaphore:
+    """A counted token pool; ``acquire`` events fire FIFO as tokens free up."""
+
+    def __init__(self, env: Environment, tokens: int, name: str = ""):
+        if tokens < 0:
+            raise SimulationError(f"Semaphore tokens must be >= 0, got {tokens}")
+        self.env = env
+        self.name = name
+        self._tokens = tokens
+        self._waiting: list[Event] = []
+
+    @property
+    def tokens(self) -> int:
+        """Currently available tokens."""
+        return self._tokens
+
+    def acquire(self) -> Event:
+        """Take one token; fires immediately if one is available."""
+        ev = Event(self.env)
+        if self._tokens > 0 and not self._waiting:
+            self._tokens -= 1
+            ev.succeed()
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` tokens, waking waiters in FIFO order."""
+        if n < 1:
+            raise SimulationError(f"release() needs n >= 1, got {n}")
+        self._tokens += n
+        while self._waiting and self._tokens > 0:
+            self._tokens -= 1
+            self._waiting.pop(0).succeed()

@@ -1,0 +1,145 @@
+"""Buffered message stores for the DES kernel.
+
+:class:`Store` is an optionally bounded FIFO of arbitrary items with
+event-based ``put``/``get`` — the building block for NIC queues,
+descriptor rings, and inter-process mailboxes.  :class:`FilterStore`
+additionally lets a getter wait for the first item matching a predicate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .core import Environment, Event
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending removal of one item from a store."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, env: Environment, filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(env)
+        self.filter = filter
+
+
+class Store:
+    """FIFO of items with optional capacity; puts block when full."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"Store capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._putters: deque[StorePut] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        """True when a put would block."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event fires once accepted."""
+        ev = StorePut(self.env, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event's value is the item."""
+        ev = StoreGet(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_get(self) -> Any:
+        """Non-blocking get: the oldest item, or None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._dispatch()
+        return item
+
+    def _admit_puts(self) -> bool:
+        moved = False
+        while self._putters and (self.capacity is None or len(self.items) < self.capacity):
+            put = self._putters.popleft()
+            self.items.append(put.item)
+            put.succeed()
+            moved = True
+        return moved
+
+    def _serve_gets(self) -> bool:
+        moved = False
+        while self._getters and self.items:
+            get = self._getters.popleft()
+            get.succeed(self.items.popleft())
+            moved = True
+        return moved
+
+    def _dispatch(self) -> None:
+        # Alternate until neither side can make progress; a get freeing a
+        # slot can unblock a put and vice versa.
+        while self._admit_puts() | self._serve_gets():
+            pass
+
+
+class FilterStore(Store):
+    """Store whose getters may wait for an item matching a predicate."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        ev = StoreGet(self.env, filter)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _serve_gets(self) -> bool:
+        moved = False
+        progressed = True
+        while progressed:
+            progressed = False
+            for get in list(self._getters):
+                if get.filter is None:
+                    if self.items:
+                        self._getters.remove(get)
+                        get.succeed(self.items.popleft())
+                        moved = progressed = True
+                else:
+                    for idx, item in enumerate(self.items):
+                        if get.filter(item):
+                            del self.items[idx]
+                            self._getters.remove(get)
+                            get.succeed(item)
+                            moved = progressed = True
+                            break
+        return moved
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None, name: str = ""):
+        super().__init__(env, capacity, name)
+        # Filtered removal needs indexable storage.
+        self.items = _IndexableDeque()
+
+
+class _IndexableDeque(list):
+    """list with deque-flavoured API used by FilterStore."""
+
+    def popleft(self) -> Any:
+        return self.pop(0)

@@ -1,0 +1,141 @@
+"""I/O lifecycle tracing: the six stages of Figure 2, measured.
+
+The paper names detailed profiling/tracing of the I/O path as future
+work; this module provides it for the simulated stack.  A
+:class:`Tracer` records (stage, start, end) spans per request id; the
+standard stage names follow the six numbered optimizations of the
+paper's architecture figure:
+
+1. ``rings``      — io_uring submission/completion handling (batching,
+                    zero-copy rings);
+2. ``dmq``        — the modified multi-queue block layer;
+3. ``qdma``       — descriptor + DMA transfer over PCIe;
+4. ``accel``      — replication/EC accelerator compute;
+5. ``fabric``     — network + OSD service (replication fan-out, TCP);
+6. ``complete``   — completion delivery back to the application.
+
+Enable with ``build_framework(..., trace=True)`` and read
+``fw.tracer.summary()`` afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import ReproError
+
+#: Canonical stage order for reports.
+STAGES = ("rings", "dmq", "qdma", "accel", "fabric", "complete")
+
+
+@dataclass
+class Span:
+    """One timed stage of one request."""
+
+    stage: str
+    start_ns: int
+    end_ns: int = -1
+
+    @property
+    def duration_ns(self) -> int:
+        """Span length (0 while still open)."""
+        return max(0, self.end_ns - self.start_ns) if self.end_ns >= 0 else 0
+
+
+@dataclass
+class RequestTrace:
+    """All spans of one request."""
+
+    request_id: int
+    spans: list[Span] = field(default_factory=list)
+
+    def stage_ns(self, stage: str) -> int:
+        """Total time spent in ``stage`` across its spans."""
+        return sum(s.duration_ns for s in self.spans if s.stage == stage)
+
+    @property
+    def total_ns(self) -> int:
+        """End-to-end span of the request."""
+        closed = [s for s in self.spans if s.end_ns >= 0]
+        if not closed:
+            return 0
+        return max(s.end_ns for s in closed) - min(s.start_ns for s in closed)
+
+
+class Tracer:
+    """Collects per-request stage spans."""
+
+    def __init__(self, env):
+        self.env = env
+        self.traces: dict[int, RequestTrace] = {}
+        self._open: dict[tuple[int, str], Span] = {}
+
+    def begin(self, request_id: int, stage: str) -> None:
+        """Open a span (nested same-stage spans are rejected)."""
+        key = (request_id, stage)
+        if key in self._open:
+            raise ReproError(f"span {stage!r} already open for request {request_id}")
+        span = Span(stage, self.env.now)
+        self._open[key] = span
+        self.traces.setdefault(request_id, RequestTrace(request_id)).spans.append(span)
+
+    def end(self, request_id: int, stage: str) -> None:
+        """Close the matching span."""
+        span = self._open.pop((request_id, stage), None)
+        if span is None:
+            raise ReproError(f"no open span {stage!r} for request {request_id}")
+        span.end_ns = self.env.now
+
+    def stage(self, request_id: int, stage: str):
+        """Span as a with-statement context (synchronous sections only)."""
+        return _SpanCtx(self, request_id, stage)
+
+    def record(self, request_id: int, stage: str, start_ns: int, end_ns: int) -> None:
+        """Append an already-closed span (retrospective instrumentation)."""
+        if end_ns < start_ns:
+            raise ReproError(f"span {stage!r} ends before it starts")
+        self.traces.setdefault(request_id, RequestTrace(request_id)).spans.append(
+            Span(stage, start_ns, end_ns)
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        """Mean microseconds per stage across all traced requests."""
+        out: dict[str, float] = {}
+        if not self.traces:
+            return out
+        for stage in STAGES:
+            vals = [t.stage_ns(stage) for t in self.traces.values() if t.stage_ns(stage) > 0]
+            if vals:
+                out[stage] = float(np.mean(vals)) / 1000.0
+        return out
+
+    def breakdown_table(self) -> str:
+        """Render the mean per-stage latency contribution."""
+        summary = self.summary()
+        total = sum(summary.values()) or 1.0
+        lines = ["stage      mean-us   share"]
+        for stage in STAGES:
+            if stage in summary:
+                lines.append(
+                    f"{stage:10s} {summary[stage]:7.2f}  {summary[stage] / total:6.1%}"
+                )
+        return "\n".join(lines)
+
+
+class _SpanCtx:
+    def __init__(self, tracer: Tracer, request_id: int, stage: str):
+        self.tracer = tracer
+        self.request_id = request_id
+        self.stage = stage
+
+    def __enter__(self):
+        self.tracer.begin(self.request_id, self.stage)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.tracer.end(self.request_id, self.stage)
+        return False

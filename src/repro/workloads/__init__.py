@@ -1,0 +1,21 @@
+"""Workload generators: fio-style synthetic, OLAP, and OLTP models."""
+
+from .fio import RW_MODES, FioJob, paper_job
+from .olap import OlapWorkload
+from .oltp import OltpWorkload
+from .replay import dump_trace, load_trace, parse_trace
+from .runner import AppResult, run_olap, run_oltp
+
+__all__ = [
+    "AppResult",
+    "FioJob",
+    "OlapWorkload",
+    "OltpWorkload",
+    "RW_MODES",
+    "dump_trace",
+    "load_trace",
+    "paper_job",
+    "parse_trace",
+    "run_olap",
+    "run_oltp",
+]

@@ -1,0 +1,84 @@
+"""OLAP workload model: analytical queries over on-disk tables.
+
+Stands in for the proprietary suite of the paper's industrial partner
+(Section III-C): a mix of **full table scans** (large sequential reads —
+the reason the paper follows the kernel community toward large block
+sizes) and **bulk loads** (large sequential writes), with a small CPU
+"processing" cost per block to model aggregation work between I/Os.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blk import SECTOR, Bio, IoOp
+from ..errors import WorkloadError
+from ..units import kib, mib, us
+
+
+@dataclass(frozen=True)
+class OlapWorkload:
+    """One analytical batch: scans then a bulk load."""
+
+    name: str = "olap"
+    table_bytes: int = mib(32)
+    scan_block: int = kib(512)  # the paper's large-block focus
+    num_scans: int = 2
+    load_bytes: int = mib(8)
+    load_block: int = kib(512)
+    #: CPU per scanned block (predicate evaluation + aggregation at
+    #: ~0.6 GB/s single-core — typical for complex analytical operators).
+    cpu_per_block_ns: int = us(800)
+    iodepth: int = 8
+
+    def __post_init__(self):
+        for field_name in ("table_bytes", "scan_block", "load_bytes", "load_block"):
+            value = getattr(self, field_name)
+            if value < SECTOR or value % SECTOR:
+                raise WorkloadError(f"{field_name} must be a positive sector multiple")
+        if self.num_scans < 0 or self.iodepth < 1:
+            raise WorkloadError("num_scans must be >= 0 and iodepth >= 1")
+
+    def scan_bios(self) -> list[Bio]:
+        """Sequential read stream covering the table, repeated per scan."""
+        out = []
+        blocks = self.table_bytes // self.scan_block
+        for _scan in range(self.num_scans):
+            for b in range(blocks):
+                out.append(
+                    Bio(
+                        IoOp.READ,
+                        sector=b * self.scan_block // SECTOR,
+                        size=self.scan_block,
+                        sequential=True,
+                    )
+                )
+        return out
+
+    def load_bios(self) -> list[Bio]:
+        """Sequential bulk-load write stream appended after the table."""
+        out = []
+        base = self.table_bytes // SECTOR
+        fill = b"\x42" * self.load_block
+        for b in range(self.load_bytes // self.load_block):
+            out.append(
+                Bio(
+                    IoOp.WRITE,
+                    sector=base + b * self.load_block // SECTOR,
+                    size=self.load_block,
+                    data=fill,
+                    sequential=True,
+                )
+            )
+        return out
+
+    @property
+    def total_cpu_ns(self) -> int:
+        """Aggregate query-processing CPU across the batch."""
+        blocks = (self.table_bytes // self.scan_block) * self.num_scans
+        return blocks * self.cpu_per_block_ns
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Image bytes the workload touches."""
+        return self.table_bytes + self.load_bytes

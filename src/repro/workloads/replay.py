@@ -1,0 +1,73 @@
+"""Trace replay: run recorded I/O traces through any framework.
+
+fio can replay block traces (``--read_iolog``); production evaluations —
+like the industrial lab deployment in the paper — often replay captured
+workloads rather than synthetic patterns.  The trace format here is a
+plain text file (or iterable of lines)::
+
+    # comment
+    <op> <offset> <length>
+
+with ``op`` one of ``R``/``W`` (or ``read``/``write``), offsets and
+lengths in bytes (sector-aligned).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Union
+
+from ..blk import SECTOR, Bio, IoOp
+from ..errors import WorkloadError
+
+_OPS = {"r": IoOp.READ, "read": IoOp.READ, "w": IoOp.WRITE, "write": IoOp.WRITE}
+
+
+def parse_trace(lines: Iterable[str]) -> list[Bio]:
+    """Parse trace lines into bios (raises with line numbers on errors)."""
+    bios: list[Bio] = []
+    prev_end: dict[IoOp, int] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise WorkloadError(f"trace line {lineno}: expected 'op offset length', got {line!r}")
+        op_token, offset_s, length_s = parts
+        op = _OPS.get(op_token.lower())
+        if op is None:
+            raise WorkloadError(f"trace line {lineno}: unknown op {op_token!r}")
+        try:
+            offset, length = int(offset_s), int(length_s)
+        except ValueError as exc:
+            raise WorkloadError(f"trace line {lineno}: non-integer field ({exc})")
+        if offset < 0 or offset % SECTOR:
+            raise WorkloadError(f"trace line {lineno}: offset {offset} not sector aligned")
+        if length <= 0 or length % SECTOR:
+            raise WorkloadError(f"trace line {lineno}: length {length} not a sector multiple")
+        sequential = prev_end.get(op) == offset
+        prev_end[op] = offset + length
+        data = b"\x00" * length if op == IoOp.WRITE else None
+        bios.append(Bio(op, offset // SECTOR, length, data=data, sequential=sequential))
+    if not bios:
+        raise WorkloadError("trace contains no I/O records")
+    return bios
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> list[Bio]:
+    """Parse a trace file from disk."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file not found: {path}")
+    with path.open() as fh:
+        return parse_trace(fh)
+
+
+def dump_trace(bios: Iterable[Bio]) -> str:
+    """Render bios back into the trace format (for capture/replay loops)."""
+    lines = []
+    for bio in bios:
+        op = "R" if bio.op == IoOp.READ else "W"
+        lines.append(f"{op} {bio.offset} {bio.size}")
+    return "\n".join(lines) + "\n"

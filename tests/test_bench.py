@@ -1,0 +1,120 @@
+"""Tests for the benchmark harness (fast experiments + formatting only;
+the full figure sweeps run under benchmarks/)."""
+
+import pytest
+
+from repro.bench import ExperimentResult, exp_power, exp_table3, format_table, paper_data, ratio_note
+from repro.bench.ablations import ALL_ABLATIONS
+from repro.bench.experiments import _standalone_invocation_us
+from repro.cli import EXPERIMENTS
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 100.123]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+    # Columns align: separator length equals header length.
+    assert len(lines[2]) == len(lines[1])
+
+
+def test_ratio_note():
+    note = ratio_note(110.0, 100.0)
+    assert "paper 100.0" in note and "+10%" in note
+    assert ratio_note(5.0, 0.0) == "5.00"
+
+
+def test_experiment_result_render():
+    res = ExperimentResult("x", "title", ["h1"], [[1]], notes="note")
+    out = res.render()
+    assert "== x: title ==" in out and "note" in out
+
+
+def test_exp_table3_matches_paper_lut_counts():
+    res = exp_table3()
+    rows = {r[0]: r for r in res.rows}
+    for module, paper_row in paper_data.TABLE3_STATIC.items():
+        assert rows[module][2] == paper_row[0]
+
+
+def test_exp_power_scenarios_ordered():
+    res = exp_power()
+    assert res.rows[0][1] > res.rows[1][1]  # no-PR draws more than with-PR
+
+
+@pytest.mark.parametrize("kernel", sorted(paper_data.TABLE1))
+def test_standalone_invocation_tracks_paper(kernel):
+    measured = _standalone_invocation_us(kernel)
+    paper = paper_data.TABLE1[kernel][4]
+    assert abs(measured - paper) / paper < 0.25
+
+
+def test_cli_experiment_registry_complete():
+    # Every paper artifact reachable from the CLI.
+    assert {"fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "table1", "table2", "table3", "power", "realworld", "headline"} <= set(EXPERIMENTS)
+
+
+def test_ablation_registry():
+    assert set(ALL_ABLATIONS) == {
+        "dmq", "batching", "instances", "rtl-vs-hls", "media", "offload", "polling",
+    }
+
+
+def test_paper_data_consistency():
+    # Reference tables agree with the spec-encoded values.
+    from repro.fpga import KERNEL_SPECS
+
+    for kernel, row in paper_data.TABLE1.items():
+        spec = KERNEL_SPECS[kernel]
+        assert spec.sw_exec_ns == row[0] * 1000
+        assert spec.cycles == row[2]
+        assert spec.sloc_verilog == row[6]
+
+
+def test_export_csv_roundtrip(tmp_path):
+    import csv
+
+    from repro.bench import export_all, export_csv
+
+    res = ExperimentResult("expx", "t", ["a", "b"], [[1, "x"], [2.5, "y"]])
+    path = export_csv(res, tmp_path / "out.csv")
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows == [["a", "b"], ["1", "x"], ["2.5", "y"]]
+    paths = export_all([res], tmp_path / "sub")
+    assert paths[0].name == "expx.csv" and paths[0].exists()
+
+
+def test_export_csv_requires_headers(tmp_path):
+    from repro.bench import export_csv
+    from repro.errors import BenchmarkError
+
+    with pytest.raises(BenchmarkError):
+        export_csv(ExperimentResult("e", "t", []), tmp_path / "x.csv")
+
+
+def test_sweep_spec_validation():
+    from repro.bench import SweepSpec
+    from repro.errors import BenchmarkError
+
+    with pytest.raises(BenchmarkError):
+        SweepSpec(frameworks=["nope"])
+    with pytest.raises(BenchmarkError):
+        SweepSpec(rw_modes=[])
+    assert SweepSpec().cells == 16
+
+
+def test_run_sweep_small_grid():
+    from repro.bench import SweepSpec, run_sweep
+    from repro.units import kib
+
+    spec = SweepSpec(
+        frameworks=["delibak"], rw_modes=["randread"], block_sizes=[kib(4)],
+        iodepths=[1, 4], nrequests=20,
+    )
+    result = run_sweep(spec)
+    assert len(result.rows) == 2
+    d1, d4 = result.rows
+    assert d4[7] > d1[7]  # deeper queue -> more KIOPS

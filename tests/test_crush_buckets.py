@@ -1,0 +1,275 @@
+"""Tests for the five CRUSH bucket types.
+
+The statistical tests draw many placements and check that selection
+frequency tracks weight.  straw2/list/tree are exactly proportional;
+original straw has a known bias for >2 distinct weights, so it gets a
+looser tolerance (this asymmetry is itself paper-relevant: straw2's
+correctness is why Ceph — and DeLiBA-K's accelerator set — added it).
+"""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crush import (
+    BucketAlg,
+    ListBucket,
+    Straw2Bucket,
+    StrawBucket,
+    TreeBucket,
+    UniformBucket,
+    make_bucket,
+)
+from repro.crush.types import WEIGHT_ONE
+from repro.errors import CrushError
+
+ALL_WEIGHTED = [ListBucket, TreeBucket, StrawBucket, Straw2Bucket]
+
+
+def _frequencies(bucket, n=6000, r=0):
+    counts = collections.Counter()
+    for x in range(n):
+        counts[bucket.choose(x, r)] += 1
+    return counts
+
+
+# --- construction validation --------------------------------------------------
+
+
+def test_bucket_id_must_be_negative():
+    with pytest.raises(CrushError):
+        Straw2Bucket(5, [0, 1], [WEIGHT_ONE] * 2)
+
+
+def test_mismatched_weights_rejected():
+    with pytest.raises(CrushError):
+        Straw2Bucket(-1, [0, 1], [WEIGHT_ONE])
+
+
+def test_duplicate_items_rejected():
+    with pytest.raises(CrushError):
+        ListBucket(-1, [3, 3], [WEIGHT_ONE] * 2)
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(CrushError):
+        TreeBucket(-1, [0, 1], [WEIGHT_ONE, -5])
+
+
+def test_uniform_rejects_unequal_weights_via_factory():
+    with pytest.raises(CrushError):
+        make_bucket(BucketAlg.UNIFORM, -1, [0, 1], [WEIGHT_ONE, 2 * WEIGHT_ONE])
+
+
+def test_uniform_add_item_wrong_weight():
+    b = UniformBucket(-1, [0, 1], WEIGHT_ONE)
+    with pytest.raises(CrushError):
+        b.add_item(2, 2 * WEIGHT_ONE)
+
+
+def test_empty_bucket_choose_raises():
+    for cls in ALL_WEIGHTED:
+        b = cls(-1, [], [])
+        with pytest.raises(CrushError):
+            b.choose(1, 0)
+
+
+# --- determinism ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", ALL_WEIGHTED)
+def test_choose_deterministic(cls):
+    b = cls(-2, list(range(8)), [WEIGHT_ONE] * 8)
+    picks1 = [b.choose(x, 0) for x in range(100)]
+    picks2 = [b.choose(x, 0) for x in range(100)]
+    assert picks1 == picks2
+
+
+@pytest.mark.parametrize("cls", ALL_WEIGHTED)
+def test_replica_rank_changes_choice_sometimes(cls):
+    b = cls(-2, list(range(8)), [WEIGHT_ONE] * 8)
+    diffs = sum(1 for x in range(200) if b.choose(x, 0) != b.choose(x, 1))
+    assert diffs > 100  # ranks must decorrelate
+
+
+def test_uniform_choose_deterministic():
+    b = UniformBucket(-3, list(range(10)), WEIGHT_ONE)
+    assert [b.choose(x, 1) for x in range(50)] == [b.choose(x, 1) for x in range(50)]
+
+
+# --- uniformity with equal weights ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "cls", [UniformBucket, ListBucket, TreeBucket, StrawBucket, Straw2Bucket]
+)
+def test_equal_weights_uniform_selection(cls):
+    items = list(range(8))
+    if cls is UniformBucket:
+        b = cls(-4, items, WEIGHT_ONE)
+    else:
+        b = cls(-4, items, [WEIGHT_ONE] * 8)
+    counts = _frequencies(b, n=8000)
+    expected = 8000 / 8
+    for item in items:
+        assert abs(counts[item] - expected) / expected < 0.12, (item, counts)
+
+
+# --- weight proportionality -----------------------------------------------------
+
+
+@pytest.mark.parametrize("cls,tol", [(ListBucket, 0.12), (TreeBucket, 0.12), (Straw2Bucket, 0.10)])
+def test_weighted_selection_proportional(cls, tol):
+    weights_f = [1.0, 2.0, 3.0, 4.0]
+    weights = [int(w * WEIGHT_ONE) for w in weights_f]
+    b = cls(-5, [0, 1, 2, 3], weights)
+    n = 20_000
+    counts = _frequencies(b, n=n)
+    total_w = sum(weights_f)
+    for item, w in enumerate(weights_f):
+        expected = n * w / total_w
+        assert abs(counts[item] - expected) / expected < tol, (item, counts)
+
+
+def test_straw_two_weight_classes_proportional():
+    # straw is exact for two distinct weights.
+    weights = [WEIGHT_ONE, WEIGHT_ONE, 3 * WEIGHT_ONE]
+    b = StrawBucket(-6, [0, 1, 2], weights)
+    n = 20_000
+    counts = _frequencies(b, n=n)
+    assert abs(counts[2] - n * 0.6) / (n * 0.6) < 0.1
+    assert abs(counts[0] - n * 0.2) / (n * 0.2) < 0.15
+
+
+def test_straw_many_classes_roughly_proportional():
+    weights = [int(w * WEIGHT_ONE) for w in (1.0, 2.0, 3.0, 4.0)]
+    b = StrawBucket(-6, [0, 1, 2, 3], weights)
+    n = 20_000
+    counts = _frequencies(b, n=n)
+    # Known bias: allow 25% relative error but ordering must hold.
+    assert counts[0] < counts[1] < counts[2] < counts[3]
+    for item, w in enumerate((1.0, 2.0, 3.0, 4.0)):
+        expected = n * w / 10.0
+        assert abs(counts[item] - expected) / expected < 0.25
+
+
+def test_zero_weight_item_never_chosen():
+    for cls in (ListBucket, TreeBucket, StrawBucket, Straw2Bucket):
+        b = cls(-7, [0, 1, 2], [WEIGHT_ONE, 0, WEIGHT_ONE])
+        counts = _frequencies(b, n=2000)
+        assert counts[1] == 0, cls.__name__
+
+
+# --- straw2 stability property ---------------------------------------------------
+
+
+def test_straw2_weight_change_only_moves_to_changed_item():
+    """The defining straw2 property: doubling one item's weight never
+    moves data between two *unchanged* items."""
+    items = list(range(6))
+    before = Straw2Bucket(-8, items, [WEIGHT_ONE] * 6)
+    after = Straw2Bucket(-8, items, [WEIGHT_ONE * 2 if i == 3 else WEIGHT_ONE for i in items])
+    for x in range(4000):
+        a = before.choose(x, 0)
+        b = after.choose(x, 0)
+        if a != b:
+            assert b == 3, f"x={x} moved {a}->{b}, not to the reweighted item"
+
+
+def test_straw2_remove_item_moves_only_from_removed():
+    items = list(range(6))
+    full = Straw2Bucket(-9, items, [WEIGHT_ONE] * 6)
+    reduced = Straw2Bucket(-9, items[:5], [WEIGHT_ONE] * 5)
+    for x in range(4000):
+        a = full.choose(x, 0)
+        b = reduced.choose(x, 0)
+        if a != 5:
+            assert a == b, f"x={x}: item {a} remapped to {b} though 5 was removed"
+
+
+def test_list_bucket_expansion_moves_only_to_new_item():
+    """List buckets are optimized for expansion: adding an item at the
+    head only moves the new item's fair share."""
+    old = ListBucket(-10, [0, 1, 2], [WEIGHT_ONE] * 3)
+    new = ListBucket(-10, [0, 1, 2, 3], [WEIGHT_ONE] * 4)
+    moved_elsewhere = 0
+    moved_to_new = 0
+    for x in range(4000):
+        a = old.choose(x, 0)
+        b = new.choose(x, 0)
+        if a != b:
+            if b == 3:
+                moved_to_new += 1
+            else:
+                moved_elsewhere += 1
+    assert moved_elsewhere == 0
+    assert abs(moved_to_new - 1000) < 150  # ~1/4 of 4000
+
+
+# --- mutation / derived state ------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", ALL_WEIGHTED)
+def test_add_remove_item_updates_weight(cls):
+    b = cls(-11, [0, 1], [WEIGHT_ONE] * 2)
+    b.add_item(2, WEIGHT_ONE)
+    assert b.size == 3
+    assert b.weight == 3 * WEIGHT_ONE
+    gone = b.remove_item(0)
+    assert gone == WEIGHT_ONE
+    assert b.size == 2
+
+
+def test_adjust_item_weight_returns_delta():
+    b = Straw2Bucket(-12, [0, 1], [WEIGHT_ONE] * 2)
+    delta = b.adjust_item_weight(1, 3 * WEIGHT_ONE)
+    assert delta == 2 * WEIGHT_ONE
+    assert b.item_weight(1) == 3 * WEIGHT_ONE
+
+
+def test_add_duplicate_item_rejected():
+    b = Straw2Bucket(-13, [0], [WEIGHT_ONE])
+    with pytest.raises(CrushError):
+        b.add_item(0, WEIGHT_ONE)
+
+
+def test_tree_bucket_single_item():
+    b = TreeBucket(-14, [9], [WEIGHT_ONE])
+    assert b.choose(123, 0) == 9
+
+
+@given(st.integers(min_value=1, max_value=33))
+@settings(max_examples=20, deadline=None)
+def test_tree_bucket_all_sizes_choose_valid_items(n):
+    b = TreeBucket(-15, list(range(n)), [WEIGHT_ONE] * n)
+    for x in range(50):
+        assert b.choose(x, 0) in range(n)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=10),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_all_buckets_choose_member(weights_units, x):
+    items = list(range(len(weights_units)))
+    weights = [w * WEIGHT_ONE for w in weights_units]
+    for cls in ALL_WEIGHTED:
+        b = cls(-16, items, weights)
+        assert b.choose(x, 0) in items
+
+
+def test_last_ops_tracks_algorithmic_cost():
+    items = list(range(16))
+    weights = [WEIGHT_ONE] * 16
+    uni = UniformBucket(-17, items, WEIGHT_ONE)
+    tree = TreeBucket(-18, items, weights)
+    straw = StrawBucket(-19, items, weights)
+    uni.choose(1, 0)
+    tree.choose(1, 0)
+    straw.choose(1, 0)
+    assert uni.last_ops == 1
+    assert tree.last_ops <= 5  # log2(16) + 1
+    assert straw.last_ops == 16

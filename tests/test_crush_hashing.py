@@ -1,0 +1,118 @@
+"""Tests for the rjenkins1 hash family and the fixed-point log table."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crush import crush_ln, hash32, hash32_2, hash32_3, hash32_4, ln_of_uniform_u16, str_hash
+from repro.crush.ln_table import LN_ONE
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(U32)
+def test_hash32_in_range(a):
+    assert 0 <= hash32(a) <= 0xFFFFFFFF
+
+
+@given(U32, U32)
+def test_hash32_2_in_range(a, b):
+    assert 0 <= hash32_2(a, b) <= 0xFFFFFFFF
+
+
+@given(U32, U32, U32, U32)
+def test_hash32_4_in_range(a, b, c, d):
+    assert 0 <= hash32_4(a, b, c, d) <= 0xFFFFFFFF
+
+
+def test_hash_deterministic():
+    assert hash32(12345) == hash32(12345)
+    assert hash32_2(1, 2) == hash32_2(1, 2)
+    assert hash32_3(1, 2, 3) == hash32_3(1, 2, 3)
+    assert hash32_4(1, 2, 3, 4) == hash32_4(1, 2, 3, 4)
+
+
+def test_hash_argument_order_matters():
+    assert hash32_2(1, 2) != hash32_2(2, 1)
+    assert hash32_3(1, 2, 3) != hash32_3(3, 2, 1)
+
+
+def test_hash_avalanche():
+    # Flipping one input bit should flip roughly half the output bits.
+    flips = bin(hash32(0) ^ hash32(1)).count("1")
+    assert 8 <= flips <= 24
+
+
+def test_hash32_masks_large_inputs():
+    assert hash32(2**40 + 7) == hash32((2**40 + 7) & 0xFFFFFFFF)
+
+
+def test_hash_uniformity_buckets():
+    n = 10_000
+    buckets = [0] * 16
+    for i in range(n):
+        buckets[hash32_2(i, 7) % 16] += 1
+    expected = n / 16
+    for count in buckets:
+        assert abs(count - expected) / expected < 0.15
+
+
+def test_str_hash_deterministic_and_spread():
+    assert str_hash("rbd_data.0001") == str_hash("rbd_data.0001")
+    assert str_hash("a") != str_hash("b")
+    vals = {str_hash(f"obj{i}") for i in range(1000)}
+    assert len(vals) > 995  # essentially no collisions on small sets
+
+
+@given(st.text(max_size=64))
+def test_str_hash_in_range(s):
+    assert 0 <= str_hash(s) <= 0xFFFFFFFF
+
+
+def test_str_hash_block_boundaries():
+    # Lengths around the 12-byte block size must all hash distinctly.
+    names = ["x" * n for n in range(1, 30)]
+    assert len({str_hash(n) for n in names}) == len(names)
+
+
+# --- crush_ln fixed-point log -------------------------------------------------
+
+
+def test_crush_ln_endpoints():
+    assert crush_ln(0xFFFF) == LN_ONE  # log2(2^16) * 2^44 = 2^48
+    assert crush_ln(0) == 0  # log2(1) = 0
+
+
+@pytest.mark.parametrize("x", [1, 2, 100, 255, 256, 1000, 0x7FFF, 0x8000, 0xFFFE])
+def test_crush_ln_matches_float_log(x):
+    approx = crush_ln(x) / (1 << 44)
+    exact = math.log2(x + 1)
+    assert abs(approx - exact) < 0.01
+
+
+def test_crush_ln_nearly_monotone():
+    # The fixed-point tables quantize the low bits, so allow dips bounded
+    # by the table resolution (~2^-9 in log2 units), but require strict
+    # growth at coarse stride.
+    prev = -1
+    for x in range(0, 0x10000, 37):
+        cur = crush_ln(x)
+        assert cur >= prev - (1 << 35)
+        prev = cur
+    coarse = [crush_ln(x) for x in range(0, 0x10000, 1024)]
+    assert coarse == sorted(coarse)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_ln_of_uniform_nonpositive(u):
+    assert ln_of_uniform_u16(u) <= 0
+
+
+def test_ln_of_uniform_is_log_of_fraction():
+    # ln_of_uniform(u) / 2^44 should approximate log2((u+1)/2^16).
+    for u in [1, 100, 5000, 40000, 65534]:
+        approx = ln_of_uniform_u16(u) / (1 << 44)
+        exact = math.log2((u + 1) / 65536.0)
+        assert abs(approx - exact) < 0.01

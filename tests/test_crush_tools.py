@@ -1,0 +1,213 @@
+"""Tests for CRUSH analysis and serialization tooling."""
+
+import pytest
+
+from repro.crush import (
+    BucketAlg,
+    WEIGHT_ONE,
+    analyze_distribution,
+    analyze_movement,
+    build_flat_cluster,
+    build_two_level_cluster,
+    dumps,
+    erasure_rule,
+    loads,
+    optimal_movement_fraction,
+    replicated_rule,
+)
+from repro.errors import CrushError
+
+
+# --- analysis -----------------------------------------------------------------
+
+
+def test_distribution_uniform_weights_even():
+    cmap, root = build_flat_cluster(8)
+    report = analyze_distribution(cmap, replicated_rule(root), replicas=3, samples=3000)
+    assert report.max_deviation < 0.15
+    assert report.coefficient_of_variation < 0.08
+    assert sum(report.counts.values()) == 3000 * 3
+
+
+def test_distribution_respects_weights():
+    cmap, root = build_flat_cluster(4, weights=[1.0, 1.0, 2.0, 4.0])
+    report = analyze_distribution(cmap, replicated_rule(root), replicas=1, samples=6000)
+    # Device 3 (weight 4) should receive ~4x device 0's share.
+    ratio = report.counts[3] / report.counts[0]
+    assert 3.2 < ratio < 4.8
+
+
+def test_distribution_excludes_out_devices():
+    cmap, root = build_flat_cluster(6)
+    cmap.mark_out(2)
+    report = analyze_distribution(cmap, replicated_rule(root), replicas=2, samples=2000)
+    assert report.counts.get(2, 0) == 0
+    assert 2 not in report.expected
+
+
+def test_distribution_validation():
+    cmap, root = build_flat_cluster(4)
+    with pytest.raises(CrushError):
+        analyze_distribution(cmap, replicated_rule(root), samples=0)
+
+
+def test_movement_straw2_near_optimal():
+    """Removing one of 10 devices should move ~10% of slots, not more
+    than ~2x the optimum (straw2's selling point)."""
+    cmap, root = build_flat_cluster(10)
+    rule = replicated_rule(root)
+    report = analyze_movement(
+        cmap, rule, mutate=lambda m: m.mark_out(7), replicas=3, samples=1500
+    )
+    optimal = 0.10
+    assert optimal * 0.7 < report.moved_fraction < optimal * 2.0, report.moved_fraction
+
+
+def test_movement_weight_increase_attracts_data():
+    cmap, root = build_flat_cluster(6)
+    rule = replicated_rule(root)
+    report = analyze_movement(
+        cmap, rule, mutate=lambda m: m.reweight_device(0, 3.0), replicas=1, samples=1500
+    )
+    # New share of device 0 = 3/8; it previously had 1/6: expected move
+    # fraction ~ 3/8 - 1/6 ~ 0.21.
+    assert 0.10 < report.moved_fraction < 0.35
+
+
+def test_optimal_movement_fraction():
+    cmap, _ = build_flat_cluster(10)
+    # Removing one unit of ten: the helper reports against the pre-change
+    # total (9 remaining + 1 removed).
+    assert optimal_movement_fraction(cmap, WEIGHT_ONE) == pytest.approx(1 / 11)
+    empty, _ = build_flat_cluster(1)
+    empty.mark_out(0)
+    with pytest.raises(CrushError):
+        optimal_movement_fraction(empty, WEIGHT_ONE)
+
+
+# --- serialization -------------------------------------------------------------
+
+
+def test_roundtrip_flat_map():
+    cmap, root = build_flat_cluster(6, alg=BucketAlg.STRAW2, weights=[1, 2, 3, 1, 2, 3])
+    rule = replicated_rule(root)
+    text = dumps(cmap, [rule])
+    cmap2, rules2 = loads(text)
+    assert len(cmap2.devices) == 6
+    assert cmap2.weight_of(root) == cmap.weight_of(root)
+    assert rules2[0].name == rule.name
+    # Placements identical after the round trip.
+    from repro.crush import Mapper
+
+    m1, m2 = Mapper(cmap), Mapper(cmap2)
+    for x in range(200):
+        assert m1.do_rule(rule, x, 3) == m2.do_rule(rules2[0], x, 3)
+
+
+def test_roundtrip_two_level_map():
+    cmap, root = build_two_level_cluster(3, 4)
+    text = dumps(cmap, [replicated_rule(root, fault_domain_type=1), erasure_rule(root)])
+    cmap2, rules2 = loads(text)
+    assert len(cmap2.buckets) == len(cmap.buckets)
+    assert cmap2.parent_of(0) == cmap.parent_of(0)
+    assert len(rules2) == 2
+    from repro.crush import Mapper
+
+    m1, m2 = Mapper(cmap), Mapper(cmap2)
+    for x in range(100):
+        assert m1.do_rule(rules2[0], x, 3) == m2.do_rule(rules2[0], x, 3)
+
+
+def test_roundtrip_preserves_reweight():
+    cmap, root = build_flat_cluster(4)
+    cmap.set_reweight(1, 0.5)
+    cmap2, _ = loads(dumps(cmap))
+    assert cmap2.devices[1].reweight == cmap.devices[1].reweight
+
+
+def test_load_rejects_bad_version():
+    import json
+
+    cmap, _ = build_flat_cluster(2)
+    from repro.crush import dump_map, load_map
+
+    blob = dump_map(cmap)
+    blob["version"] = 99
+    with pytest.raises(CrushError):
+        load_map(blob)
+
+
+def test_load_rejects_cyclic_buckets():
+    from repro.crush import load_map
+
+    blob = {
+        "version": 1,
+        "devices": [],
+        "types": [],
+        "buckets": [
+            {"id": -1, "name": "a", "alg": "straw2", "type": 1, "items": [-2], "weights": [1]},
+            {"id": -2, "name": "b", "alg": "straw2", "type": 1, "items": [-1], "weights": [1]},
+        ],
+    }
+    with pytest.raises(CrushError):
+        load_map(blob)
+
+
+# --- device-class rules -------------------------------------------------------
+
+
+def _mixed_media_cluster():
+    from repro.crush import CrushMap, DeviceClass
+
+    cmap = CrushMap()
+    cmap.register_type(10, "root")
+    ssds = [cmap.add_device(f"ssd.{i}", 1.0, DeviceClass.SSD) for i in range(4)]
+    smrs = [cmap.add_device(f"smr.{i}", 1.0, DeviceClass.SMR) for i in range(4)]
+    root = cmap.add_bucket(BucketAlg.STRAW2, 10, ssds + smrs, name="root")
+    return cmap, root, set(ssds), set(smrs)
+
+
+def test_class_rule_places_only_on_matching_devices():
+    from repro.crush import DeviceClass, Mapper
+
+    cmap, root, ssds, smrs = _mixed_media_cluster()
+    ssd_rule = replicated_rule(root, device_class=DeviceClass.SSD, rule_id=5, name="ssd-only")
+    smr_rule = replicated_rule(root, device_class=DeviceClass.SMR, rule_id=6, name="smr-only")
+    mapper = Mapper(cmap)
+    for x in range(200):
+        assert set(mapper.do_rule(ssd_rule, x, 2)) <= ssds
+        assert set(mapper.do_rule(smr_rule, x, 2)) <= smrs
+
+
+def test_class_rule_indep_mode():
+    from repro.crush import CRUSH_ITEM_NONE, DeviceClass, Mapper
+
+    cmap, root, ssds, _ = _mixed_media_cluster()
+    rule = erasure_rule(root, device_class=DeviceClass.SSD, rule_id=7)
+    mapper = Mapper(cmap)
+    for x in range(100):
+        placed = [o for o in mapper.do_rule(rule, x, 3) if o != CRUSH_ITEM_NONE]
+        assert set(placed) <= ssds
+
+
+def test_unclassed_rule_uses_everything():
+    from repro.crush import Mapper
+
+    cmap, root, ssds, smrs = _mixed_media_cluster()
+    mapper = Mapper(cmap)
+    seen = set()
+    for x in range(300):
+        seen.update(mapper.do_rule(replicated_rule(root), x, 2))
+    assert seen == ssds | smrs
+
+
+def test_class_rule_serialization_roundtrip():
+    from repro.crush import DeviceClass, Mapper
+
+    cmap, root, ssds, _ = _mixed_media_cluster()
+    rule = replicated_rule(root, device_class=DeviceClass.SSD, rule_id=9)
+    cmap2, rules2 = loads(dumps(cmap, [rule]))
+    assert rules2[0].device_class == DeviceClass.SSD
+    m1, m2 = Mapper(cmap), Mapper(cmap2)
+    for x in range(100):
+        assert m1.do_rule(rule, x, 2) == m2.do_rule(rules2[0], x, 2)

@@ -1,0 +1,199 @@
+"""Integration tests for the framework assembly layer."""
+
+import pytest
+
+from repro.deliba import (
+    DELIBA1,
+    DELIBA2,
+    DELIBAK,
+    DELIBAK_SW,
+    FRAMEWORKS,
+    FrameworkConfig,
+    PoolSpec,
+    SOFTWARE_CEPH,
+    build_framework,
+    framework_by_name,
+    run_job_on,
+)
+from repro.errors import BenchmarkError
+from repro.net.stack import KERNEL_TCP
+from repro.osd import PoolType
+from repro.units import kib
+from repro.workloads import FioJob, paper_job
+
+
+def small_job(rw="randread", bs=kib(4), iodepth=2, n=20):
+    return FioJob("t", rw, bs=bs, iodepth=iodepth, nrequests=n, size=kib(256))
+
+
+# --- config validation ------------------------------------------------------
+
+
+def test_framework_registry():
+    assert framework_by_name("delibak") is DELIBAK
+    with pytest.raises(BenchmarkError):
+        framework_by_name("deliba99")
+    assert set(FRAMEWORKS) == {
+        "software-ceph", "deliba1", "deliba2", "deliba2-sw", "delibak-sw", "delibak",
+    }
+
+
+def test_config_validation():
+    with pytest.raises(BenchmarkError):
+        FrameworkConfig("x", "X", api="quic", driver="uifd", hardware=False,
+                        client_stack=KERNEL_TCP, accel_impl=None)
+    with pytest.raises(BenchmarkError):
+        FrameworkConfig("x", "X", api="sync", driver="pci", hardware=False,
+                        client_stack=KERNEL_TCP, accel_impl=None)
+    with pytest.raises(BenchmarkError):
+        FrameworkConfig("x", "X", api="sync", driver="uifd", hardware=True,
+                        client_stack=KERNEL_TCP, accel_impl=None)
+
+
+def test_generation_structure():
+    assert DELIBA1.nbd_crossings == 6 and DELIBA1.passive_offload
+    assert DELIBA2.nbd_crossings == 5 and not DELIBA2.passive_offload
+    assert DELIBAK.blk.scheduler == "none"  # DMQ bypass
+    assert SOFTWARE_CEPH.blk.scheduler == "mq-deadline"
+    assert DELIBAK.client_stack.name == "rtl-fpga-tcp"
+    assert DELIBA2.client_stack.name == "hls-fpga-tcp"
+
+
+# --- assembly ----------------------------------------------------------------
+
+
+def test_build_framework_hardware_components():
+    fw = build_framework(DELIBAK)
+    assert fw.qdma is not None
+    assert fw.fpga is not None
+    assert "crush" in fw.accelerators
+    assert fw.accelerators["crush"].spec.impl == "rtl"
+    assert fw.engine.name == "io_uring"
+
+
+def test_build_framework_software_has_no_fpga():
+    fw = build_framework(DELIBAK_SW)
+    assert fw.qdma is None
+    assert fw.fpga is None
+
+
+def test_hls_accelerators_for_d2():
+    fw = build_framework(DELIBA2)
+    assert fw.accelerators["crush"].spec.impl == "hls"
+
+
+def test_pool_spec_erasure():
+    fw = build_framework(DELIBAK, pool_spec=PoolSpec(kind="erasure", k=3, m=2), object_size=kib(4))
+    assert fw.pool.pool_type == PoolType.ERASURE
+    assert fw.pool.k == 3
+
+
+def test_unknown_pool_kind():
+    with pytest.raises(BenchmarkError):
+        build_framework(DELIBAK, pool_spec=PoolSpec(kind="raid5"))
+
+
+# --- end-to-end jobs ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(FRAMEWORKS))
+def test_every_framework_runs_replicated_io(name):
+    result = run_job_on(FRAMEWORKS[name], small_job())
+    assert result.ios == 20
+    assert result.mean_latency_us() > 10
+
+
+@pytest.mark.parametrize("name", ["deliba2", "delibak", "delibak-sw"])
+def test_every_framework_runs_ec_io(name):
+    result = run_job_on(
+        FRAMEWORKS[name], small_job(rw="randwrite"), pool_spec=PoolSpec(kind="erasure")
+    )
+    assert result.ios == 20
+
+
+def test_data_integrity_through_full_stack():
+    """Bytes written through the whole stack land intact on the OSDs."""
+    fw = build_framework(DELIBAK)
+    job = FioJob("w", "write", bs=kib(4), nrequests=8, size=kib(32))
+    proc = fw.env.process(fw.run_fio(job))
+    fw.env.run()
+    assert proc.ok
+    # Every replica of the touched object holds the fio fill byte.
+    name = fw.image.object_name(0)
+    holders = [d for d in fw.cluster.daemons.values() if name in d.store]
+    assert len(holders) == fw.pool.size
+    for daemon in holders:
+        assert daemon.store.read(name, 0, 4) == b"\x5A" * 4
+
+
+def test_deterministic_runs_same_seed():
+    a = run_job_on(DELIBAK, small_job(), seed=3)
+    b = run_job_on(DELIBAK, small_job(), seed=3)
+    assert a.latencies_ns == b.latencies_ns
+
+
+def test_different_seed_changes_jitter():
+    a = run_job_on(DELIBAK, small_job(), seed=3)
+    b = run_job_on(DELIBAK, small_job(), seed=4)
+    assert a.latencies_ns != b.latencies_ns
+
+
+# --- paper-shape properties ------------------------------------------------------------
+
+
+def test_latency_ordering_dk_d2_d1():
+    lat = {
+        name: run_job_on(FRAMEWORKS[name], small_job(iodepth=1)).mean_latency_us()
+        for name in ("deliba1", "deliba2", "delibak")
+    }
+    assert lat["delibak"] < lat["deliba2"] < lat["deliba1"]
+
+
+def test_dk_software_beats_d2_software():
+    dk = run_job_on(FRAMEWORKS["delibak-sw"], small_job(iodepth=1)).mean_latency_us()
+    d2 = run_job_on(FRAMEWORKS["deliba2-sw"], small_job(iodepth=1)).mean_latency_us()
+    assert dk < d2
+
+
+def test_dk_scales_with_depth_d2_does_not():
+    """The multi-tenancy argument: D-K's KIOPS grow with iodepth, the
+    NBD daemon serializes D2."""
+    def kiops(name, depth):
+        return run_job_on(
+            FRAMEWORKS[name], small_job(rw="randwrite", iodepth=depth, n=60)
+        ).kiops()
+
+    dk_gain = kiops("delibak", 8) / kiops("delibak", 1)
+    d2_gain = kiops("deliba2", 8) / kiops("deliba2", 1)
+    assert dk_gain > 1.5
+    assert d2_gain < dk_gain
+
+
+def test_uring_syscall_elimination_in_dk():
+    fw = build_framework(DELIBAK)
+    job = small_job(rw="randwrite")
+    proc = fw.env.process(fw.run_fio(job))
+    fw.env.run()
+    assert proc.ok
+    # SQPOLL mode: the host never syscalls on the submission path.
+    assert fw.engine.total_syscalls_saved() > 0
+
+
+def test_numjobs_multiplies_work_and_runs_concurrently():
+    fw = build_framework(DELIBAK)
+    job = FioJob("nj", "randwrite", bs=kib(4), iodepth=2, nrequests=30, numjobs=3)
+    proc = fw.env.process(fw.run_fio(job))
+    fw.env.run()
+    merged = proc.value
+    assert merged.ios == 90  # 3 jobs x 30 requests
+    # Concurrent, not serial: wall time well under 3x a single job.
+    single = run_job_on(DELIBAK, FioJob("nj1", "randwrite", bs=kib(4), iodepth=2, nrequests=30))
+    assert merged.elapsed_ns < single.elapsed_ns * 2.2
+
+
+def test_numjobs_validation():
+    import pytest as _pytest
+    from repro.errors import WorkloadError
+
+    with _pytest.raises(WorkloadError):
+        FioJob("bad", "read", numjobs=0)

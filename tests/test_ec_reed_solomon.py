@@ -1,0 +1,263 @@
+"""Round-trip, erasure-recovery, and matrix tests for Reed-Solomon."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import (
+    ReedSolomon,
+    ReplicationCodec,
+    StripeLayout,
+    cauchy,
+    gauss_jordan_invert,
+    gf_matmul,
+    systematic_cauchy,
+    systematic_vandermonde,
+)
+from repro.errors import DecodeError, ErasureCodingError
+
+
+# --- generator matrices ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("k,m", [(2, 1), (3, 2), (4, 2), (6, 3), (8, 4)])
+def test_systematic_vandermonde_top_is_identity(k, m):
+    g = systematic_vandermonde(k, m)
+    assert g.shape == (k + m, k)
+    assert np.array_equal(g[:k], np.eye(k, dtype=np.uint8))
+
+
+@pytest.mark.parametrize("k,m", [(2, 1), (4, 2), (6, 3)])
+def test_systematic_cauchy_top_is_identity(k, m):
+    g = systematic_cauchy(k, m)
+    assert np.array_equal(g[:k], np.eye(k, dtype=np.uint8))
+
+
+@pytest.mark.parametrize("maker", [systematic_vandermonde, systematic_cauchy])
+def test_any_k_rows_invertible(maker):
+    k, m = 4, 2
+    g = maker(k, m)
+    for rows in itertools.combinations(range(k + m), k):
+        sub = g[list(rows)]
+        inv = gauss_jordan_invert(sub)  # must not raise
+        assert np.array_equal(gf_matmul(inv, sub), np.eye(k, dtype=np.uint8))
+
+
+def test_gauss_jordan_inverts():
+    rng = np.random.default_rng(3)
+    mat = systematic_vandermonde(5, 3)[[0, 2, 5, 6, 7]]
+    inv = gauss_jordan_invert(mat)
+    prod = gf_matmul(inv, mat.astype(np.uint8))
+    # inv @ mat over GF should be identity; verify via action on identity.
+    assert np.array_equal(prod, np.eye(5, dtype=np.uint8))
+
+
+def test_singular_matrix_raises():
+    mat = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(ErasureCodingError):
+        gauss_jordan_invert(mat)
+
+
+def test_invert_non_square_raises():
+    with pytest.raises(ErasureCodingError):
+        gauss_jordan_invert(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_cauchy_bounds():
+    with pytest.raises(ErasureCodingError):
+        cauchy(200, 100)
+
+
+# --- codec round trips --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("technique", ["vandermonde", "cauchy"])
+@pytest.mark.parametrize("k,m", [(2, 1), (4, 2), (6, 3), (8, 4)])
+def test_encode_decode_no_loss(k, m, technique):
+    rs = ReedSolomon(k, m, technique)
+    data = bytes(range(256)) * 4
+    shards = rs.encode(data)
+    assert len(shards) == k + m
+    assert rs.decode(shards, len(data)) == data
+
+
+@pytest.mark.parametrize("technique", ["vandermonde", "cauchy"])
+def test_recover_from_any_m_erasures(technique):
+    k, m = 4, 2
+    rs = ReedSolomon(k, m, technique)
+    data = b"the quick brown fox jumps over the lazy dog" * 10
+    shards = rs.encode(data)
+    for lost in itertools.combinations(range(k + m), m):
+        damaged = [None if i in lost else s for i, s in enumerate(shards)]
+        assert rs.decode(damaged, len(data)) == data, f"failed for erasures {lost}"
+
+
+def test_too_many_erasures_raises():
+    rs = ReedSolomon(4, 2)
+    data = b"x" * 100
+    shards = rs.encode(data)
+    damaged = [None, None, None] + shards[3:]
+    with pytest.raises(DecodeError):
+        rs.decode(damaged, len(data))
+
+
+def test_decode_wrong_slot_count():
+    rs = ReedSolomon(4, 2)
+    with pytest.raises(ErasureCodingError):
+        rs.decode([b"x"] * 5, 1)
+
+
+def test_reconstruct_single_shard():
+    rs = ReedSolomon(4, 2)
+    data = bytes(np.random.default_rng(1).integers(0, 256, 1000, dtype=np.uint8))
+    shards = rs.encode(data)
+    for idx in range(6):
+        damaged = list(shards)
+        damaged[idx] = None
+        rebuilt = rs.reconstruct_shard(damaged, idx)
+        assert rebuilt == shards[idx], f"shard {idx} mismatch"
+
+
+def test_reconstruct_present_shard_is_identity():
+    rs = ReedSolomon(3, 2)
+    shards = rs.encode(b"hello world")
+    assert rs.reconstruct_shard(shards, 2) == shards[2]
+
+
+def test_reconstruct_index_validation():
+    rs = ReedSolomon(3, 2)
+    shards = rs.encode(b"hello")
+    with pytest.raises(ErasureCodingError):
+        rs.reconstruct_shard(shards, 9)
+
+
+def test_reconstruct_too_many_lost():
+    rs = ReedSolomon(3, 2)
+    shards = rs.encode(b"hello")
+    damaged = [None, None, None, shards[3], shards[4]]
+    with pytest.raises(DecodeError):
+        rs.reconstruct_shard(damaged, 0)
+
+
+@given(st.binary(min_size=0, max_size=2000), st.integers(min_value=0, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property_random_erasures(data, seed):
+    rs = ReedSolomon(4, 2)
+    shards = rs.encode(data)
+    rng = np.random.default_rng(seed)
+    lost = rng.choice(6, size=2, replace=False)
+    damaged = [None if i in lost else s for i, s in enumerate(shards)]
+    assert rs.decode(damaged, len(data)) == data
+
+
+def test_empty_object():
+    rs = ReedSolomon(4, 2)
+    shards = rs.encode(b"")
+    assert rs.decode(shards, 0) == b""
+
+
+def test_shard_sizes_uniform():
+    rs = ReedSolomon(4, 2)
+    shards = rs.encode(b"z" * 13)  # 13 bytes -> 4-byte shards padded
+    assert all(len(s) == 4 for s in shards)
+
+
+def test_profile_validation():
+    with pytest.raises(ErasureCodingError):
+        ReedSolomon(0, 2)
+    with pytest.raises(ErasureCodingError):
+        ReedSolomon(4, -1)
+    with pytest.raises(ErasureCodingError):
+        ReedSolomon(200, 100)
+    with pytest.raises(ErasureCodingError):
+        ReedSolomon(4, 2, technique="magic")
+
+
+def test_encode_shards_validation():
+    rs = ReedSolomon(4, 2)
+    with pytest.raises(ErasureCodingError):
+        rs.encode_shards(np.zeros((3, 8), dtype=np.uint8))
+
+
+# --- replication codec -----------------------------------------------------------------
+
+
+def test_replication_roundtrip():
+    rc = ReplicationCodec(3)
+    shards = rc.encode(b"payload")
+    assert len(shards) == 3
+    assert rc.decode(shards, 7) == b"payload"
+
+
+def test_replication_survives_n_minus_1_losses():
+    rc = ReplicationCodec(3)
+    shards = rc.encode(b"payload")
+    assert rc.decode([None, None, shards[2]], 7) == b"payload"
+
+
+def test_replication_total_loss_raises():
+    rc = ReplicationCodec(2)
+    with pytest.raises(DecodeError):
+        rc.decode([None, None], 5)
+
+
+def test_replication_validation():
+    with pytest.raises(ErasureCodingError):
+        ReplicationCodec(0)
+    rc = ReplicationCodec(2)
+    with pytest.raises(ErasureCodingError):
+        rc.decode([b"x"], 1)
+
+
+def test_replication_overhead():
+    assert ReplicationCodec(3).storage_overhead() == 3.0
+    assert ReplicationCodec(3).k == 1
+    assert ReplicationCodec(3).m == 2
+    assert ReplicationCodec(3).n == 3
+
+
+# --- striping ---------------------------------------------------------------------------
+
+
+def test_stripe_geometry():
+    layout = StripeLayout(k=4, stripe_unit=1024)
+    assert layout.stripe_width == 4096
+    assert layout.stripe_of(0) == 0
+    assert layout.stripe_of(4096) == 1
+    assert layout.chunk_of(1024) == 1
+    assert layout.chunk_offset(1030) == 6
+
+
+def test_stripe_extent_coverage():
+    layout = StripeLayout(k=2, stripe_unit=512)  # width 1024
+    assert layout.stripes_for_extent(0, 1024) == [0]
+    assert layout.stripes_for_extent(512, 1024) == [0, 1]
+    assert layout.stripes_for_extent(0, 0) == []
+
+
+def test_stripe_extent_in_stripe():
+    layout = StripeLayout(k=2, stripe_unit=512)
+    off, ln = layout.extent_in_stripe(0, 512, 1024)
+    assert (off, ln) == (512, 512)
+    off, ln = layout.extent_in_stripe(1, 512, 1024)
+    assert (off, ln) == (0, 512)
+
+
+def test_full_stripe_write_detection():
+    layout = StripeLayout(k=4, stripe_unit=1024)
+    assert layout.is_full_stripe_write(0, 4096)
+    assert not layout.is_full_stripe_write(0, 2048)
+    assert not layout.is_full_stripe_write(100, 4096)
+
+
+def test_stripe_validation():
+    with pytest.raises(ErasureCodingError):
+        StripeLayout(0, 512)
+    with pytest.raises(ErasureCodingError):
+        StripeLayout(2, 0)
+    layout = StripeLayout(2, 512)
+    with pytest.raises(ErasureCodingError):
+        layout.stripe_of(-1)

@@ -1,0 +1,92 @@
+"""Tests for gray-failure injection and its tail-latency consequences."""
+
+import pytest
+
+from repro.deliba import DELIBAK, build_framework
+from repro.errors import StorageError
+from repro.osd.faults import FaultInjector
+from repro.units import kib, mib
+from repro.workloads import FioJob
+
+
+def run_job(fw, job):
+    proc = fw.env.process(fw.run_fio(job))
+    fw.env.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def job(n=120, iodepth=4):
+    return FioJob("fault", "randread", bs=kib(4), iodepth=iodepth, nrequests=n, size=mib(32))
+
+
+def test_validation():
+    fw = build_framework(DELIBAK)
+    inj = FaultInjector(fw.cluster)
+    with pytest.raises(StorageError):
+        inj.slow_device(0, 0.5)
+    with pytest.raises(StorageError):
+        inj.slow_device(999, 2.0)
+    with pytest.raises(StorageError):
+        inj.restore_device(0)
+    with pytest.raises(StorageError):
+        inj.degrade_host_link("server0", 0.5)
+    with pytest.raises(StorageError):
+        inj.restore_host_link("server0")
+
+
+def test_slow_device_inflates_tail_latency():
+    fw = build_framework(DELIBAK, seed=1)
+    baseline = run_job(fw, job())
+    fw2 = build_framework(DELIBAK, seed=1)
+    inj = FaultInjector(fw2.cluster)
+    for osd_id in range(4):  # one gray-failing enclosure
+        inj.slow_device(osd_id, 20.0)
+    degraded = run_job(fw2, job())
+    # Mean moves some; the TAIL moves a lot — the gray-failure signature.
+    assert degraded.p99_latency_us() > baseline.p99_latency_us() * 2
+    assert degraded.mean_latency_us() < degraded.p99_latency_us()
+
+
+def test_restore_device_recovers_performance():
+    fw = build_framework(DELIBAK, seed=2)
+    inj = FaultInjector(fw.cluster)
+    inj.slow_device(0, 50.0)
+    inj.restore_device(0)
+    assert inj.active_faults == 0
+    healthy = run_job(fw, job(n=60))
+    assert healthy.p99_latency_us() < 150
+
+
+def test_marking_out_gray_osd_heals_tail():
+    """The operational fix: mark the slow OSD out; CRUSH routes around it."""
+    fw = build_framework(DELIBAK, seed=3)
+    inj = FaultInjector(fw.cluster)
+    inj.slow_device(5, 50.0)
+    sick = run_job(fw, job(n=100))
+    fw.cluster.fail_osd(5)
+    recovered = run_job(fw, job(n=100))
+    assert recovered.p99_latency_us() < sick.p99_latency_us()
+
+
+def test_degraded_link_slows_everything():
+    fw = build_framework(DELIBAK, seed=4)
+    baseline = run_job(fw, job(n=60))
+    fw2 = build_framework(DELIBAK, seed=4)
+    inj = FaultInjector(fw2.cluster)
+    inj.degrade_host_link("server0", 10.0)
+    degraded = run_job(fw2, job(n=60))
+    assert degraded.mean_latency_us() > baseline.mean_latency_us()
+    inj.restore_host_link("server0")
+    assert inj.active_faults == 0
+
+
+def test_double_injection_restores_to_true_original():
+    fw = build_framework(DELIBAK)
+    inj = FaultInjector(fw.cluster)
+    original = fw.cluster.daemons[0].device.profile
+    inj.slow_device(0, 2.0)
+    inj.slow_device(0, 8.0)  # re-inject on top
+    inj.restore_device(0)
+    assert fw.cluster.daemons[0].device.profile is original

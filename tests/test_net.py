@@ -1,0 +1,279 @@
+"""Tests for links, the star network, and TCP connections."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    ETHERNET_FRAME_OVERHEAD,
+    HLS_TCP,
+    KERNEL_TCP,
+    PAPER_BANDWIDTH_BPS,
+    RTL_TCP,
+    Link,
+    Message,
+    Network,
+    TcpEndpoint,
+    stack_by_name,
+)
+from repro.sim import Environment
+from repro.units import SEC, gbps, kib, us
+
+
+def make_net(n_hosts=2, **kw):
+    env = Environment()
+    net = Network(env, **kw)
+    for i in range(n_hosts):
+        net.add_host(f"h{i}")
+    return env, net
+
+
+# --- message ---------------------------------------------------------------
+
+
+def test_message_size_validation():
+    with pytest.raises(ValueError):
+        Message("a", "b", -1)
+
+
+def test_message_ids_unique():
+    a = Message("a", "b", 10)
+    b = Message("a", "b", 10)
+    assert a.msg_id != b.msg_id
+
+
+def test_message_latency_unset():
+    assert Message("a", "b", 10).latency_ns == -1
+
+
+# --- link ------------------------------------------------------------------------
+
+
+def test_link_validation():
+    env = Environment()
+    with pytest.raises(NetworkError):
+        Link(env, 0, 100)
+    with pytest.raises(NetworkError):
+        Link(env, 1e9, -1)
+    with pytest.raises(NetworkError):
+        Link(env, 1e9, 0, mtu=10)
+
+
+def test_link_wire_bytes_framing():
+    env = Environment()
+    link = Link(env, gbps(10), 0, mtu=1500)
+    assert link.wire_bytes(100) == 100 + ETHERNET_FRAME_OVERHEAD
+    assert link.wire_bytes(3000) == 3000 + 2 * ETHERNET_FRAME_OVERHEAD
+
+
+def test_link_serialization_time():
+    env = Environment()
+    link = Link(env, gbps(10), 0)  # 1.25 GB/s
+    # 1250 bytes + 38 overhead = 1288 B -> 1030.4 ns
+    assert abs(link.serialization_ns(1250) - 1030) <= 1
+
+
+def test_link_fifo_contention():
+    env = Environment()
+    link = Link(env, 1e9, 0, mtu=9000)  # 1 GB/s, no propagation
+    done = []
+
+    def sender(env, tag):
+        msg = Message("a", "b", 1000 - ETHERNET_FRAME_OVERHEAD)
+        yield from link.transmit(msg)  # ~1000ns each
+        done.append((tag, env.now))
+
+    for t in range(3):
+        env.process(sender(env, t))
+    env.run()
+    times = [t for _, t in done]
+    # Serialized back-to-back: roughly 1us, 2us, 3us.
+    assert times[1] - times[0] >= 900
+    assert times[2] - times[1] >= 900
+
+
+# --- network -----------------------------------------------------------------------
+
+
+def test_network_duplicate_host():
+    env, net = make_net(1)
+    with pytest.raises(NetworkError):
+        net.add_host("h0")
+
+
+def test_network_unknown_host():
+    env, net = make_net(1)
+    with pytest.raises(NetworkError):
+        net.host("nope")
+
+
+def test_network_delivery_and_latency():
+    env, net = make_net(2)
+    msg = Message("h0", "h1", 4096)
+    net.send_async(msg)
+    env.run()
+    assert msg.delivered_at > 0
+    assert net.messages_delivered == 1
+    got = net.host("h1").inbox.try_get()
+    assert got is msg
+    # Latency = 2 serializations + 2 hops + switch.
+    assert msg.latency_ns == net.min_latency_ns(4096)
+
+
+def test_network_min_latency_reasonable():
+    env, net = make_net(2)
+    # 4kB at 9.8 Gb/s: ~3.4us serialization x2 + ~3.5us fixed => ~10us.
+    lat = net.min_latency_ns(4096)
+    assert us(5) < lat < us(20)
+
+
+def test_network_throughput_cap():
+    """Sustained offered load above line rate caps at ~9.8 Gb/s."""
+    env, net = make_net(2)
+    n_msgs = 200
+    size = kib(128)
+
+    # Pipelined transfers: uplink serialization becomes the bottleneck.
+    for _ in range(n_msgs):
+        net.send_async(Message("h0", "h1", size))
+    env.run()
+    elapsed = env.now
+    achieved_bps = n_msgs * size / (elapsed / SEC)
+    assert achieved_bps <= PAPER_BANDWIDTH_BPS * 1.01
+    assert achieved_bps >= PAPER_BANDWIDTH_BPS * 0.85
+
+
+def test_network_incast_contention():
+    """Two senders to one receiver share the receiver's downlink."""
+    env, net = make_net(3)
+    done = []
+
+    def sender(env, src):
+        yield env.process(net.send(Message(src, "h2", kib(64))))
+        done.append(env.now)
+
+    env.process(sender(env, "h0"))
+    env.process(sender(env, "h1"))
+    env.run()
+    solo = net.min_latency_ns(kib(64))
+    assert done[0] < solo * 1.2
+    assert done[1] > solo * 1.4  # queued behind the first on h2's downlink
+
+
+# --- tcp -------------------------------------------------------------------------------
+
+
+def test_stack_by_name():
+    assert stack_by_name("kernel-tcp") is KERNEL_TCP
+    assert stack_by_name("rtl-fpga-tcp") is RTL_TCP
+    with pytest.raises(NetworkError):
+        stack_by_name("quic")
+
+
+def test_stack_cost_ordering():
+    # The whole point: rtl < hls < kernel for any message size.
+    for size in (0, 4096, 131072):
+        assert RTL_TCP.tx_ns(size) < HLS_TCP.tx_ns(size) < KERNEL_TCP.tx_ns(size)
+
+
+def test_tcp_requires_connect():
+    env, net = make_net(2)
+    conn = TcpEndpoint(net, "h0").connection_to("h1")
+
+    def proc(env):
+        yield from conn.send("h0", 100)
+
+    env.process(proc(env))
+    with pytest.raises(NetworkError):
+        env.run()
+
+
+def test_tcp_send_recv_roundtrip():
+    env, net = make_net(2)
+    ep = TcpEndpoint(net, "h0", stack=KERNEL_TCP)
+    results = {}
+
+    def client(env):
+        conn = yield from ep.ensure_connected("h1")
+        yield env.process(conn.send("h0", 4096, payload="request"), name="tx")
+        results["sent_at"] = env.now
+
+    def server(env):
+        conn = ep.connection_to("h1")
+        msg = yield conn.recv("h1")
+        results["received"] = msg.payload[1]
+        results["recv_at"] = env.now
+
+    env.process(client(env))
+    env.process(server(env))
+    env.run()
+    assert results["received"] == "request"
+    assert results["recv_at"] > 0
+
+
+def test_tcp_stack_choice_changes_latency():
+    def run(stack):
+        env, net = make_net(2)
+        ep = TcpEndpoint(net, "h0", stack=stack)
+        t = {}
+
+        def client(env):
+            conn = yield from ep.ensure_connected("h1")
+            start = env.now
+            yield env.process(conn.send("h0", 4096))
+            t["lat"] = env.now - start
+
+        env.process(client(env))
+        env.run()
+        return t["lat"]
+
+    assert run(RTL_TCP) < run(HLS_TCP) < run(KERNEL_TCP)
+
+
+def test_tcp_endpoint_caches_connections():
+    env, net = make_net(2)
+    ep = TcpEndpoint(net, "h0")
+    assert ep.connection_to("h1") is ep.connection_to("h1")
+
+
+def test_tcp_bad_endpoint_errors():
+    env, net = make_net(2)
+    conn = TcpEndpoint(net, "h0").connection_to("h1")
+    with pytest.raises(NetworkError):
+        conn.recv("h9")
+
+
+def test_tcp_interleaved_connections_no_crosstalk():
+    env, net = make_net(3)
+    ep0 = TcpEndpoint(net, "h0")
+    ep1 = TcpEndpoint(net, "h1")
+    got = {}
+
+    def client(env, ep, me, payload):
+        conn = yield from ep.ensure_connected("h2")
+        yield env.process(conn.send(me, 1024, payload=payload))
+
+    def server(env, ep, peer, key):
+        conn = ep.connection_to("h2")  # same object as client's
+        msg = yield conn.recv("h2")
+        got[key] = msg.payload[1]
+
+    env.process(client(env, ep0, "h0", "from-h0"))
+    env.process(client(env, ep1, "h1", "from-h1"))
+    env.process(server(env, ep0, "h0", "c0"))
+    env.process(server(env, ep1, "h1", "c1"))
+    env.run()
+    assert got == {"c0": "from-h0", "c1": "from-h1"}
+
+
+def test_network_utilization_report():
+    env, net = make_net(2)
+    for _ in range(20):
+        net.send_async(Message("h0", "h1", kib(64)))
+    env.run()
+    report = net.utilization_report(env.now)
+    # The sender's uplink and receiver's downlink carried the traffic.
+    assert report["h0-up"] > 1.0  # Gb/s
+    assert report["h1-down"] > 1.0
+    assert report["h1-up"] == 0.0
+    with pytest.raises(NetworkError):
+        net.utilization_report(0)

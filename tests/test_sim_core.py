@@ -1,0 +1,314 @@
+"""Unit tests for the DES kernel (Environment, events, processes)."""
+
+import pytest
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim import Environment
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 100
+    assert env.now == 100
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        v = yield env.timeout(5, value="payload")
+        got.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_fifo_order_at_same_timestamp():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(10)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(3)
+        return 42
+
+    def outer(env):
+        result = yield env.process(inner(env))
+        return result + 1
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == 43
+
+
+def test_run_until_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(7)
+
+    env.process(proc(env))
+    env.run(until=100)
+    assert env.now == 100
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=50)
+    with pytest.raises(SimulationError):
+        env.run(until=10)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter(env):
+        v = yield ev
+        got.append((env.now, v))
+
+    def trigger(env):
+        yield env.timeout(30)
+        ev.succeed("done")
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert got == [(30, "done")]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    ev.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failed_event_raises_from_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_yield_processed_event_resumes_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("early")
+    seen = []
+
+    def late_waiter(env):
+        yield env.timeout(50)
+        v = yield ev  # ev already processed by then
+        seen.append((env.now, v))
+
+    env.process(late_waiter(env))
+    env.run()
+    assert seen == [(50, "early")]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise KeyError("broken")
+
+    def outer(env):
+        try:
+            yield env.process(bad(env))
+        except KeyError:
+            return "caught"
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == "caught"
+
+
+def test_interrupt_kills_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(1000)
+        except ProcessKilled:
+            log.append(env.now)
+
+    target = env.process(sleeper(env))
+
+    def killer(env):
+        yield env.timeout(10)
+        target.interrupt("reason")
+
+    env.process(killer(env))
+    env.run()
+    assert log == [10]
+    assert not target.is_alive
+
+
+def test_interrupt_finished_process_is_noop():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    p.interrupt()  # should not raise
+    env.run()
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(10, value="fast")
+        t2 = env.timeout(20, value="slow")
+        results = yield env.any_of([t1, t2])
+        return (env.now, list(results.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (10, ["fast"])
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(10, value="a")
+        t2 = env.timeout(20, value="b")
+        results = yield env.all_of([t1, t2])
+        return (env.now, sorted(results.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (20, ["a", "b"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.all_of([])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_nested_processes_three_deep():
+    env = Environment()
+
+    def level3(env):
+        yield env.timeout(5)
+        return 3
+
+    def level2(env):
+        v = yield env.process(level3(env))
+        yield env.timeout(5)
+        return v + 2
+
+    def level1(env):
+        v = yield env.process(level2(env))
+        return v + 1
+
+    p = env.process(level1(env))
+    env.run()
+    assert p.value == 6
+    assert env.now == 10
+
+
+def test_determinism_identical_runs():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, wid, delay):
+            for i in range(3):
+                yield env.timeout(delay)
+                trace.append((env.now, wid, i))
+
+        for wid in range(4):
+            env.process(worker(env, wid, 7 + wid))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(42)
+    assert env.peek() == 42
+    env.step()
+    assert env.now == 42
+    assert env.peek() is None
+    with pytest.raises(SimulationError):
+        env.step()

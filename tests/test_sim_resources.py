@@ -1,0 +1,179 @@
+"""Unit tests for Resource and Semaphore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Semaphore
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_serializes_access():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def worker(env, wid):
+        req = res.request()
+        yield req
+        start = env.now
+        yield env.timeout(10)
+        res.release(req)
+        spans.append((wid, start, env.now))
+
+    for wid in range(3):
+        env.process(worker(env, wid))
+    env.run()
+    assert spans == [(0, 0, 10), (1, 10, 20), (2, 20, 30)]
+
+
+def test_resource_parallel_capacity_two():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    finish = []
+
+    def worker(env, wid):
+        yield from res.using(10)
+        finish.append((wid, env.now))
+
+    for wid in range(4):
+        env.process(worker(env, wid))
+    env.run()
+    assert finish == [(0, 10), (1, 10), (2, 20), (3, 20)]
+
+
+def test_resource_priority_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(100)
+        res.release(req)
+
+    def worker(env, wid, prio, delay):
+        yield env.timeout(delay)
+        yield from res.using(1, priority=prio)
+        order.append(wid)
+
+    env.process(holder(env))
+    # Submitted in order 0,1,2 but priorities 2,0,1 => served 1,2,0.
+    env.process(worker(env, 0, 2, 1))
+    env.process(worker(env, 1, 0, 2))
+    env.process(worker(env, 2, 1, 3))
+    env.run()
+    assert order == [1, 2, 0]
+
+
+def test_resource_release_unowned_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    assert res.queue_len == 1
+    res.cancel(second)
+    assert res.queue_len == 0
+    with pytest.raises(SimulationError):
+        res.cancel(first)  # already granted
+
+
+def test_resource_using_releases_on_completion():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker(env):
+        yield from res.using(5)
+
+    env.process(worker(env))
+    env.run()
+    assert res.count == 0
+
+
+def test_semaphore_tokens_flow():
+    env = Environment()
+    sem = Semaphore(env, tokens=2)
+    acquired_at = []
+
+    def taker(env, wid):
+        yield sem.acquire()
+        acquired_at.append((wid, env.now))
+
+    for wid in range(4):
+        env.process(taker(env, wid))
+
+    def releaser(env):
+        yield env.timeout(50)
+        sem.release(2)
+
+    env.process(releaser(env))
+    env.run()
+    assert acquired_at == [(0, 0), (1, 0), (2, 50), (3, 50)]
+    assert sem.tokens == 0
+
+
+def test_semaphore_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Semaphore(env, tokens=-1)
+    sem = Semaphore(env, tokens=1)
+    with pytest.raises(SimulationError):
+        sem.release(0)
+
+
+def test_resource_queue_len_reporting():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    res.request()
+    res.request()
+    assert res.count == 1
+    assert res.queue_len == 2
+
+
+def test_interrupted_waiter_does_not_leak_slot():
+    """A process killed while queued must withdraw its claim; the next
+    waiter gets the slot and capacity never leaks."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        yield from res.using(100)
+        order.append(("holder-done", env.now))
+
+    def waiter(env, tag):
+        try:
+            yield from res.using(10)
+            order.append((tag, env.now))
+        except Exception:
+            order.append((tag + "-killed", env.now))
+
+    env.process(holder(env))
+    victim = env.process(waiter(env, "victim"))
+    env.process(waiter(env, "survivor"))
+
+    def killer(env):
+        yield env.timeout(50)
+        victim.interrupt()
+
+    env.process(killer(env))
+    env.run()
+    assert ("victim-killed", 50) in order
+    assert ("survivor", 110) in order  # got the slot right after the holder
+    assert res.count == 0 and res.queue_len == 0

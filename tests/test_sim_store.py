@@ -1,0 +1,165 @@
+"""Unit tests for Store and FilterStore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, FilterStore, Store
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(25)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(25, "x")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")  # blocks until a get frees the slot
+        times.append(("b", env.now))
+
+    def consumer(env):
+        yield env.timeout(40)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [("a", 0), ("b", 40)]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("v")
+    env.run()
+    assert store.try_get() == "v"
+    assert store.try_get() is None
+
+
+def test_store_is_full():
+    env = Environment()
+    store = Store(env, capacity=2)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert store.is_full
+    assert len(store) == 2
+
+
+def test_try_get_unblocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    done = []
+
+    def producer(env):
+        yield store.put(1)
+        yield store.put(2)
+        done.append(env.now)
+
+    env.process(producer(env))
+    env.run()
+    assert not done  # second put blocked
+    assert store.try_get() == 1
+    env.run()
+    assert done == [0]
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    env.process(consumer(env))
+    store.put(1)
+    store.put(3)
+    store.put(4)
+    env.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3]
+
+
+def test_filter_store_waits_for_match():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get(lambda x: x == "wanted")
+        got.append((env.now, item))
+
+    def producer(env):
+        yield store.put("other")
+        yield env.timeout(10)
+        yield store.put("wanted")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(10, "wanted")]
+
+
+def test_filter_store_plain_get_fifo():
+    env = Environment()
+    store = FilterStore(env)
+    store.put("a")
+    store.put("b")
+    got = []
+
+    def consumer(env):
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    env.process(consumer(env))
+    env.run()
+    assert got == ["a", "b"]

@@ -1,0 +1,172 @@
+"""Tests for the lifecycle tracer and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.deliba import DELIBAK, build_framework
+from repro.errors import ReproError
+from repro.sim import Environment
+from repro.trace import STAGES, Tracer
+from repro.units import kib
+from repro.workloads import FioJob
+
+
+# --- tracer unit tests --------------------------------------------------------
+
+
+def test_tracer_begin_end_span():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.begin(1, "fabric")
+    env.run(until=500)
+    tracer.end(1, "fabric")
+    assert tracer.traces[1].stage_ns("fabric") == 500
+
+
+def test_tracer_record_retrospective():
+    tracer = Tracer(Environment())
+    tracer.record(7, "qdma", 100, 400)
+    assert tracer.traces[7].stage_ns("qdma") == 300
+
+
+def test_tracer_double_begin_rejected():
+    tracer = Tracer(Environment())
+    tracer.begin(1, "accel")
+    with pytest.raises(ReproError):
+        tracer.begin(1, "accel")
+
+
+def test_tracer_end_without_begin_rejected():
+    tracer = Tracer(Environment())
+    with pytest.raises(ReproError):
+        tracer.end(1, "accel")
+
+
+def test_tracer_record_validation():
+    tracer = Tracer(Environment())
+    with pytest.raises(ReproError):
+        tracer.record(1, "qdma", 400, 100)
+
+
+def test_tracer_context_manager():
+    env = Environment()
+    tracer = Tracer(env)
+    with tracer.stage(3, "rings"):
+        env.run(until=250)
+    assert tracer.traces[3].stage_ns("rings") == 250
+
+
+def test_tracer_summary_and_total():
+    tracer = Tracer(Environment())
+    tracer.record(1, "fabric", 0, 60_000)
+    tracer.record(1, "qdma", 60_000, 62_000)
+    tracer.record(2, "fabric", 0, 40_000)
+    summary = tracer.summary()
+    assert summary["fabric"] == pytest.approx(50.0)
+    assert summary["qdma"] == pytest.approx(2.0)
+    assert tracer.traces[1].total_ns == 62_000
+
+
+def test_tracer_empty_summary():
+    assert Tracer(Environment()).summary() == {}
+
+
+def test_breakdown_table_renders():
+    tracer = Tracer(Environment())
+    tracer.record(1, "fabric", 0, 50_000)
+    out = tracer.breakdown_table()
+    assert "fabric" in out and "%" in out
+
+
+# --- tracer integration --------------------------------------------------------
+
+
+def test_traced_framework_covers_stages():
+    fw = build_framework(DELIBAK, trace=True)
+    job = FioJob("t", "randwrite", bs=kib(4), iodepth=1, nrequests=10)
+    proc = fw.env.process(fw.run_fio(job))
+    fw.env.run()
+    assert proc.ok
+    summary = fw.tracer.summary()
+    for stage in ("rings", "qdma", "accel", "fabric", "complete"):
+        assert stage in summary, f"stage {stage} missing from {summary}"
+    # Fabric (network + OSD) must dominate the 4 kB write path.
+    assert summary["fabric"] > 0.5 * sum(summary.values())
+    # Stage sum roughly accounts for end-to-end latency.
+    assert sum(summary.values()) <= proc.value.mean_latency_us() * 1.1
+
+
+def test_untraced_framework_has_no_tracer():
+    fw = build_framework(DELIBAK)
+    assert fw.tracer is None
+
+
+def test_stage_names_canonical():
+    assert STAGES == ("rings", "dmq", "qdma", "accel", "fabric", "complete")
+
+
+# --- cli -------------------------------------------------------------------------
+
+
+def test_cli_frameworks(capsys):
+    assert main(["frameworks"]) == 0
+    out = capsys.readouterr().out
+    assert "delibak" in out and "rtl-fpga-tcp" in out
+
+
+def test_cli_fio(capsys):
+    code = main(["fio", "--framework", "delibak", "--rw", "randread",
+                 "--nrequests", "20", "--iodepth", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean latency" in out and "MB/s" in out
+
+
+def test_cli_fio_erasure_pool(capsys):
+    code = main(["fio", "--framework", "delibak", "--rw", "randwrite",
+                 "--pool", "erasure", "--nrequests", "10"])
+    assert code == 0
+
+
+def test_cli_experiment_power(capsys):
+    assert main(["experiment", "power"]) == 0
+    out = capsys.readouterr().out
+    assert "195" in out
+
+
+def test_cli_trace(capsys):
+    assert main(["trace", "--nrequests", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "fabric" in out
+
+
+def test_cli_trace_rejects_software_framework(capsys):
+    assert main(["trace", "--framework", "software-ceph"]) == 2
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_cli_fio_prints_percentiles(capsys):
+    assert main(["fio", "--nrequests", "30", "--iodepth", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "p99" in out
+
+
+def test_cli_replay(tmp_path, capsys):
+    trace = tmp_path / "t.trace"
+    trace.write_text("W 0 4096\nR 0 4096\n")
+    assert main(["replay", str(trace), "--iodepth", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed 2 I/Os" in out
+
+
+def test_cli_sweep(tmp_path, capsys):
+    csv_path = tmp_path / "grid.csv"
+    code = main(["sweep", "--frameworks", "delibak", "--rw", "randread",
+                 "--bs", "4096", "--iodepth", "1", "--csv", str(csv_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sweep" in out and csv_path.exists()

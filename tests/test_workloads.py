@@ -1,0 +1,195 @@
+"""Tests for the fio, OLAP, and OLTP workload generators."""
+
+import pytest
+
+from repro.blk import IoOp
+from repro.errors import WorkloadError
+from repro.sim import RngRegistry
+from repro.units import kib, mib
+from repro.workloads import FioJob, OlapWorkload, OltpWorkload, paper_job
+
+
+def rng():
+    return RngRegistry(7).stream("wl")
+
+
+# --- fio ---------------------------------------------------------------------
+
+
+def test_fio_validation():
+    with pytest.raises(WorkloadError):
+        FioJob("j", "randwrite", bs=100)
+    with pytest.raises(WorkloadError):
+        FioJob("j", "scan")
+    with pytest.raises(WorkloadError):
+        FioJob("j", "read", size=kib(2), bs=kib(4))
+    with pytest.raises(WorkloadError):
+        FioJob("j", "read", iodepth=0)
+    with pytest.raises(WorkloadError):
+        FioJob("j", "randrw", rwmixread=1.5)
+
+
+def test_fio_sequential_pattern():
+    job = FioJob("j", "read", bs=kib(4), nrequests=10, size=kib(64))
+    bios = job.make_bios(rng())
+    assert [b.offset for b in bios] == [i * kib(4) for i in range(10)]
+    assert all(b.op == IoOp.READ for b in bios)
+    assert all(b.sequential for b in bios)
+
+
+def test_fio_sequential_wraps_working_set():
+    job = FioJob("j", "read", bs=kib(4), nrequests=20, size=kib(16))
+    bios = job.make_bios(rng())
+    assert all(b.offset < kib(16) for b in bios)
+
+
+def test_fio_random_pattern_within_bounds():
+    job = FioJob("j", "randwrite", bs=kib(4), nrequests=50, size=kib(64))
+    bios = job.make_bios(rng())
+    offsets = {b.offset for b in bios}
+    assert len(offsets) > 5  # actually random
+    assert all(off % kib(4) == 0 and off < kib(64) for off in offsets)
+    assert all(not b.sequential for b in bios)
+    assert all(b.data is not None and len(b.data) == kib(4) for b in bios)
+
+
+def test_fio_randrw_mix():
+    job = FioJob("j", "randrw", bs=kib(4), nrequests=200, size=mib(1), rwmixread=0.7)
+    bios = job.make_bios(rng())
+    reads = sum(1 for b in bios if b.op == IoOp.READ)
+    assert 0.55 < reads / 200 < 0.85
+
+
+def test_fio_deterministic_given_seed():
+    job = FioJob("j", "randread", bs=kib(4), nrequests=30, size=mib(1))
+    a = [b.offset for b in job.make_bios(RngRegistry(1).stream("x"))]
+    b = [b.offset for b in job.make_bios(RngRegistry(1).stream("x"))]
+    assert a == b
+
+
+def test_paper_job_defaults():
+    job = paper_job("randwrite", kib(8))
+    assert job.bs == kib(8)
+    assert job.iodepth == 4
+
+
+# --- olap ---------------------------------------------------------------------
+
+
+def test_olap_scan_bios_sequential():
+    wl = OlapWorkload(table_bytes=mib(2), scan_block=kib(512), num_scans=2)
+    bios = wl.scan_bios()
+    assert len(bios) == 8  # 4 blocks x 2 scans
+    assert all(b.op == IoOp.READ and b.sequential for b in bios)
+    assert bios[0].offset == 0 and bios[3].offset == mib(2) - kib(512)
+
+
+def test_olap_load_bios_after_table():
+    wl = OlapWorkload(table_bytes=mib(2), load_bytes=mib(1), load_block=kib(512))
+    bios = wl.load_bios()
+    assert len(bios) == 2
+    assert bios[0].offset == mib(2)
+    assert all(b.op == IoOp.WRITE for b in bios)
+
+
+def test_olap_cpu_accounting():
+    wl = OlapWorkload(table_bytes=mib(2), scan_block=kib(512), num_scans=1)
+    assert wl.total_cpu_ns == 4 * wl.cpu_per_block_ns
+    assert wl.footprint_bytes == wl.table_bytes + wl.load_bytes
+
+
+def test_olap_validation():
+    with pytest.raises(WorkloadError):
+        OlapWorkload(scan_block=100)
+    with pytest.raises(WorkloadError):
+        OlapWorkload(iodepth=0)
+
+
+# --- oltp ----------------------------------------------------------------------
+
+
+def test_oltp_transactions_shape():
+    wl = OltpWorkload(transactions=5, reads_per_txn=3, writes_per_txn=2)
+    txns = wl.transaction_bios(rng())
+    assert len(txns) == 5
+    for txn in txns:
+        assert sum(1 for b in txn if b.op == IoOp.READ) == 3
+        assert sum(1 for b in txn if b.op == IoOp.WRITE) == 2
+    assert wl.total_ios == 25
+
+
+def test_oltp_pages_within_database():
+    wl = OltpWorkload(database_bytes=mib(1), page_size=kib(8), transactions=10)
+    for txn in wl.transaction_bios(rng()):
+        for bio in txn:
+            assert bio.offset + bio.size <= mib(1)
+
+
+def test_oltp_validation():
+    with pytest.raises(WorkloadError):
+        OltpWorkload(page_size=100)
+    with pytest.raises(WorkloadError):
+        OltpWorkload(database_bytes=kib(4), page_size=kib(8))
+    with pytest.raises(WorkloadError):
+        OltpWorkload(transactions=0)
+
+
+# --- trace replay -----------------------------------------------------------
+
+
+def test_parse_trace_roundtrip():
+    from repro.workloads import dump_trace, parse_trace
+
+    text = """# captured workload
+R 0 4096
+R 4096 4096
+W 8192 8192
+"""
+    bios = parse_trace(text.splitlines())
+    assert len(bios) == 3
+    assert bios[0].op == IoOp.READ and bios[0].offset == 0
+    assert not bios[0].sequential and bios[1].sequential  # continuation detected
+    assert bios[2].op == IoOp.WRITE and bios[2].data == b"\x00" * 8192
+    assert parse_trace(dump_trace(bios).splitlines()) is not None
+
+
+def test_parse_trace_word_ops_case_insensitive():
+    from repro.workloads import parse_trace
+
+    bios = parse_trace(["read 0 512", "WRITE 512 512"])
+    assert bios[0].op == IoOp.READ and bios[1].op == IoOp.WRITE
+
+
+def test_parse_trace_errors_carry_line_numbers():
+    from repro.workloads import parse_trace
+
+    with pytest.raises(WorkloadError, match="line 1"):
+        parse_trace(["garbage"])
+    with pytest.raises(WorkloadError, match="line 2"):
+        parse_trace(["R 0 512", "R 100 512"])  # unaligned offset
+    with pytest.raises(WorkloadError, match="line 1"):
+        parse_trace(["Q 0 512"])
+    with pytest.raises(WorkloadError, match="line 1"):
+        parse_trace(["R zero 512"])
+    with pytest.raises(WorkloadError):
+        parse_trace(["# only comments"])
+
+
+def test_load_trace_missing_file(tmp_path):
+    from repro.workloads import load_trace
+
+    with pytest.raises(WorkloadError):
+        load_trace(tmp_path / "nope.trace")
+
+
+def test_trace_replay_through_framework(tmp_path):
+    from repro.deliba import DELIBAK, build_framework
+    from repro.workloads import load_trace
+
+    trace = tmp_path / "wl.trace"
+    trace.write_text("W 0 4096\nW 4096 4096\nR 0 4096\n")
+    fw = build_framework(DELIBAK)
+    bios = load_trace(trace)
+    proc = fw.env.process(fw.engine.run(bios, 2))
+    fw.env.run()
+    assert proc.value.ios == 3

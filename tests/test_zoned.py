@@ -1,0 +1,136 @@
+"""Tests for the zoned-device model (ZNS/SMR semantics)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.osd import NVME_SSD
+from repro.osd.zoned import Zone, ZonedDevice, ZoneState
+from repro.sim import Environment
+from repro.units import kib, mib
+
+
+def make_dev(capacity=mib(8), zone_size=mib(1), **kw):
+    env = Environment()
+    return env, ZonedDevice(env, capacity, zone_size=zone_size, profile=NVME_SSD, **kw)
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run()
+    if not p.ok:
+        raise p.value
+    return p.value
+
+
+def test_geometry_validation():
+    env = Environment()
+    with pytest.raises(StorageError):
+        ZonedDevice(env, mib(3), zone_size=mib(2))
+    with pytest.raises(StorageError):
+        ZonedDevice(env, mib(4), zone_size=mib(2), max_open_zones=0)
+
+
+def test_zone_layout():
+    env, dev = make_dev()
+    assert len(dev.zones) == 8
+    assert dev.zones[3].start == mib(3)
+    assert dev.zone_of(mib(3) + 5).index == 3
+    with pytest.raises(StorageError):
+        dev.zone_of(mib(8))
+
+
+def test_sequential_write_advances_pointer():
+    env, dev = make_dev()
+    run(env, dev.write(0, kib(64)))
+    run(env, dev.write(kib(64), kib(64)))
+    assert dev.zones[0].write_pointer == kib(128)
+    assert dev.zones[0].state == ZoneState.OPEN
+
+
+def test_unaligned_write_rejected():
+    env, dev = make_dev()
+    run(env, dev.write(0, kib(64)))
+    with pytest.raises(StorageError):
+        run(env, dev.write(kib(128), kib(64)))  # skips ahead of the pointer
+    with pytest.raises(StorageError):
+        run(env, dev.write(0, kib(64)))  # rewrites the start
+
+
+def test_zone_fills_and_blocks():
+    env, dev = make_dev(capacity=mib(2), zone_size=mib(1))
+    run(env, dev.write(0, mib(1)))
+    assert dev.zones[0].state == ZoneState.FULL
+    with pytest.raises(StorageError):
+        run(env, dev.write(mib(1) - kib(4), kib(4)))  # full zone
+    # Write crossing the remaining space is rejected.
+    run(env, dev.write(mib(1), kib(512)))
+    with pytest.raises(StorageError):
+        run(env, dev.write(mib(1) + kib(512), mib(1)))
+
+
+def test_reset_reopens_zone():
+    env, dev = make_dev(capacity=mib(2), zone_size=mib(1))
+    run(env, dev.write(0, mib(1)))
+    run(env, dev.reset_zone(0))
+    assert dev.zones[0].state == ZoneState.EMPTY
+    run(env, dev.write(0, kib(4)))
+    assert dev.resets == 1
+
+
+def test_max_open_zones_enforced():
+    env, dev = make_dev(max_open_zones=2)
+    run(env, dev.write(0, kib(4)))
+    run(env, dev.write(mib(1), kib(4)))
+    with pytest.raises(StorageError):
+        run(env, dev.write(mib(2), kib(4)))
+    # Filling one zone frees an open slot.
+    run(env, dev.write(kib(4), mib(1) - kib(4)))
+    run(env, dev.write(mib(2), kib(4)))
+
+
+def test_zone_append_returns_offsets():
+    env, dev = make_dev()
+    o1 = run(env, dev.zone_append(2, kib(16)))
+    o2 = run(env, dev.zone_append(2, kib(16)))
+    assert o1 == mib(2)
+    assert o2 == mib(2) + kib(16)
+    assert dev.appends == 2
+
+
+def test_zone_append_validation():
+    env, dev = make_dev(capacity=mib(2), zone_size=mib(1))
+    with pytest.raises(StorageError):
+        run(env, dev.zone_append(5, kib(4)))
+    with pytest.raises(StorageError):
+        run(env, dev.zone_append(0, mib(2)))  # larger than the zone
+
+
+def test_read_below_write_pointer_only():
+    env, dev = make_dev()
+    run(env, dev.write(0, kib(64)))
+    run(env, dev.read(0, kib(64)))
+    with pytest.raises(StorageError):
+        run(env, dev.read(0, kib(128)))  # beyond the pointer
+
+
+def test_finish_zone():
+    env, dev = make_dev()
+    run(env, dev.write(0, kib(4)))
+    dev.finish_zone(0)
+    assert dev.zones[0].state == ZoneState.FULL
+    with pytest.raises(StorageError):
+        dev.finish_zone(0)
+
+
+def test_reset_offline_rejected():
+    env, dev = make_dev()
+    dev.zones[1].state = ZoneState.OFFLINE
+    with pytest.raises(StorageError):
+        run(env, dev.reset_zone(1))
+    with pytest.raises(StorageError):
+        run(env, dev.write(mib(1), kib(4)))
+
+
+def test_zone_dataclass_remaining():
+    z = Zone(0, 0, 100, write_pointer=30)
+    assert z.remaining == 70
