@@ -1,7 +1,6 @@
 """Fig. 9 reproduction: hardware EC KIOPS, D2 vs D-K."""
 
 from repro.bench import exp_fig9
-from repro.units import kib
 
 
 def test_fig9_hw_kiops_ec(benchmark, report):

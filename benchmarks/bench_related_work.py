@@ -7,7 +7,6 @@ and peak small-block KIOPS and checks they land in the cited league.
 """
 
 from repro.bench.paper_data import MAX_KIOPS_DELIBAK, P99_LATENCY_US_DELIBAK
-from repro.bench.tables import format_table
 from repro.deliba import DELIBAK, run_job_on
 from repro.units import kib, mib
 from repro.workloads import FioJob

@@ -13,10 +13,7 @@ Run:  python examples/api_comparison.py
 
 from repro.api import LibAioEngine, MmapEngine, PosixAioEngine, SyncEngine, UringEngine
 from repro.bench.tables import format_table
-from repro.blk import BlockLayer, DMQ_CONFIG
 from repro.deliba import DELIBAK, build_framework
-from repro.driver import UifdDriver
-from repro.host import HostKernel
 from repro.units import kib
 from repro.workloads import FioJob
 

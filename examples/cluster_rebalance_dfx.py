@@ -37,7 +37,7 @@ def main() -> None:
         # Homogeneous cluster -> uniform bucket accelerator.
         yield from dfx.reconfigure("rm3_uniform")
         print(f"[{to_ms(env.now):8.1f} ms] loaded {partition.active} "
-              f"(homogeneous cluster)")
+              "(homogeneous cluster)")
 
         # Write objects.
         for i in range(30):

@@ -31,7 +31,7 @@ def main() -> None:
               f"{k}+{m} shards on OSDs {acting}")
         overhead = (k + m) / k
         print(f"          storage overhead {overhead:.2f}x "
-              f"(vs 3.00x for 3-way replication)")
+              "(vs 3.00x for 3-way replication)")
 
         # Kill m OSDs holding shards.
         for osd in acting[:m]:

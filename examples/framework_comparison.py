@@ -44,9 +44,9 @@ def main() -> None:
 
     dk = run_job_on(FRAMEWORKS["delibak"], FioJob("x", "randwrite", bs=kib(4), iodepth=4, nrequests=100))
     d2 = run_job_on(FRAMEWORKS["deliba2"], FioJob("x", "randwrite", bs=kib(4), iodepth=4, nrequests=100))
-    print(f"\nDeLiBA-K vs DeLiBA-2, 4 kB random write: "
+    print("\nDeLiBA-K vs DeLiBA-2, 4 kB random write: "
           f"{dk.throughput_mb_s() / d2.throughput_mb_s():.2f}x throughput "
-          f"(paper: 3.45x)")
+          "(paper: 3.45x)")
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ def main() -> None:
     print(f"  throughput   : {result.throughput_mb_s():8.1f} MB/s")
     print(f"  IOPS         : {result.kiops() * 1000:8.0f}")
     print(f"  syscalls saved by SQPOLL io_uring: {fw.engine.total_syscalls_saved()}")
-    print(f"  QDMA descriptors processed: "
+    print("  QDMA descriptors processed: "
           f"{sum(q.descriptors_processed for q in fw.qdma._queues.values())}")
 
 

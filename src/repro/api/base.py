@@ -79,6 +79,22 @@ class AioEngine(ABC):
         self.kernel = kernel
         self.blk = blk
 
+    @property
+    def metrics(self):
+        """The stack-wide metrics registry (shared via the block layer)."""
+        return self.blk.metrics
+
+    def open_throughput_meter(self):
+        """The engine's ``api.<name>.throughput`` meter, window opened now.
+
+        Called at the top of :meth:`run` so the window covers the first
+        op's service time (opening at the first *completion* instead
+        inflates MB/s and KIOPS at low op counts).
+        """
+        meter = self.metrics.meter(f"api.{self.name}.throughput")
+        meter.start(self.env.now)
+        return meter
+
     @abstractmethod
     def run(self, bios: Sequence[Bio], iodepth: int) -> Generator:
         """Process: drive all ``bios`` to completion with ``iodepth`` in

@@ -41,6 +41,7 @@ class LibAioEngine(AioEngine):
     def run(self, bios: Sequence[Bio], iodepth: int) -> Generator:
         self._validate(bios, iodepth)
         result = RunResult(started_at=self.env.now)
+        meter = self.open_throughput_meter()
         core = self.kernel.cpus.pick_core()
         queue = deque(bios)
         inflight: dict[int, tuple[int, int]] = {}  # req_id -> (t0, size)
@@ -87,5 +88,6 @@ class LibAioEngine(AioEngine):
                 t0, size = inflight.pop(req_id)
                 result.latencies_ns.append(self.env.now - t0)
                 result.bytes_moved += size
+                meter.record(size, self.env.now)
         result.finished_at = self.env.now
         return result

@@ -35,9 +35,10 @@ class MmapEngine(AioEngine):
     def run(self, bios: Sequence[Bio], iodepth: int) -> Generator:
         self._validate(bios, iodepth)
         result = RunResult(started_at=self.env.now)
+        meter = self.open_throughput_meter()
         queue = deque(bios)
         workers = [
-            self.env.process(self._worker(queue, result), name=f"mmap.t{t}")
+            self.env.process(self._worker(queue, result, meter), name=f"mmap.t{t}")
             for t in range(min(iodepth, len(bios)))
         ]
         yield self.env.all_of(workers)
@@ -49,7 +50,7 @@ class MmapEngine(AioEngine):
         last = (bio.offset + bio.size - 1) // PAGE
         return range(first, last + 1)
 
-    def _worker(self, queue: deque, result: RunResult) -> Generator:
+    def _worker(self, queue: deque, result: RunResult, meter) -> Generator:
         core = self.kernel.cpus.pick_core()
         while queue:
             bio = queue.popleft()
@@ -70,6 +71,7 @@ class MmapEngine(AioEngine):
                 yield from self.kernel.context_switch(core)
             result.latencies_ns.append(self.env.now - start)
             result.bytes_moved += bio.size
+            meter.record(bio.size, self.env.now)
 
     def _fault_in(self, core, bio: Bio) -> Generator:
         """Fault the bio's pages in, fault-around style."""

@@ -39,17 +39,18 @@ class PosixAioEngine(AioEngine):
     def run(self, bios: Sequence[Bio], iodepth: int) -> Generator:
         self._validate(bios, iodepth)
         result = RunResult(started_at=self.env.now)
+        meter = self.open_throughput_meter()
         queue = deque(bios)
         threads = min(self.pool_threads, iodepth, len(bios))
         workers = [
-            self.env.process(self._pool_thread(queue, result), name=f"paio.t{t}")
+            self.env.process(self._pool_thread(queue, result, meter), name=f"paio.t{t}")
             for t in range(threads)
         ]
         yield self.env.all_of(workers)
         result.finished_at = self.env.now
         return result
 
-    def _pool_thread(self, queue: deque, result: RunResult) -> Generator:
+    def _pool_thread(self, queue: deque, result: RunResult, meter) -> Generator:
         core = self.kernel.cpus.pick_core()
         while queue:
             bio = queue.popleft()
@@ -72,3 +73,4 @@ class PosixAioEngine(AioEngine):
             yield from self.kernel.context_switch(core)
             result.latencies_ns.append(self.env.now - start)
             result.bytes_moved += bio.size
+            meter.record(bio.size, self.env.now)

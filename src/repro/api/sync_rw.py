@@ -32,16 +32,17 @@ class SyncEngine(AioEngine):
     def run(self, bios: Sequence[Bio], iodepth: int) -> Generator:
         self._validate(bios, iodepth)
         result = RunResult(started_at=self.env.now)
+        meter = self.open_throughput_meter()
         queue = deque(bios)
         workers = [
-            self.env.process(self._worker(queue, result, tid), name=f"sync.t{tid}")
+            self.env.process(self._worker(queue, result, tid, meter), name=f"sync.t{tid}")
             for tid in range(min(iodepth, len(bios)))
         ]
         yield self.env.all_of(workers)
         result.finished_at = self.env.now
         return result
 
-    def _worker(self, queue: deque, result: RunResult, tid: int) -> Generator:
+    def _worker(self, queue: deque, result: RunResult, tid: int, meter) -> Generator:
         core = self.kernel.cpus.pick_core()
         while queue:
             bio = queue.popleft()
@@ -49,6 +50,7 @@ class SyncEngine(AioEngine):
             yield from self._blocking_io(core, bio)
             result.latencies_ns.append(self.env.now - start)
             result.bytes_moved += bio.size
+            meter.record(bio.size, self.env.now)
 
     def _blocking_io(self, core, bio: Bio) -> Generator:
         # Syscall entry.

@@ -66,6 +66,7 @@ class UringEngine(AioEngine):
         """Process: drive ``bios`` through the instances; see base class."""
         self._validate(bios, iodepth)
         result = RunResult(started_at=self.env.now)
+        meter = self.open_throughput_meter()
         # Use at most ``iodepth`` instances so total inflight never
         # exceeds the requested depth; shard bios round-robin among them.
         active = self.instances[: min(len(self.instances), iodepth)]
@@ -77,7 +78,7 @@ class UringEngine(AioEngine):
         base, extra = divmod(iodepth, len(active))
         procs = [
             self.env.process(
-                self._drive(inst, shard, base + (1 if i < extra else 0), result),
+                self._drive(inst, shard, base + (1 if i < extra else 0), result, meter),
                 name=f"{inst.name}.drive",
             )
             for i, (inst, shard) in enumerate(zip(active, shards))
@@ -87,7 +88,9 @@ class UringEngine(AioEngine):
         result.finished_at = self.env.now
         return result
 
-    def _drive(self, inst: IoUring, shard: deque, depth: int, result: RunResult) -> Generator:
+    def _drive(
+        self, inst: IoUring, shard: deque, depth: int, result: RunResult, meter
+    ) -> Generator:
         """One submitter thread: batch-fill SQ, submit, reap, refill."""
         submit_times: dict[int, int] = {}
         sizes: dict[int, int] = {}
@@ -113,7 +116,9 @@ class UringEngine(AioEngine):
                         req_id, t0 = pending
                         self.blk.tracer.record(req_id, "complete", t0, self.env.now)
                     result.latencies_ns.append(self.env.now - submit_times.pop(cqe.user_data))
-                    result.bytes_moved += sizes.pop(cqe.user_data)
+                    nbytes = sizes.pop(cqe.user_data)
+                    result.bytes_moved += nbytes
+                    meter.record(nbytes, self.env.now)
                     inflight -= 1
 
     def total_syscalls_saved(self) -> int:

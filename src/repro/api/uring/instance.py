@@ -22,7 +22,7 @@ from enum import Enum
 from typing import Generator, Optional
 
 from ...blk import Bio, BlockLayer, IoOp
-from ...errors import ApiError, RingFullError
+from ...errors import ApiError
 from ...host import HostKernel
 from ...host.cpu import CpuCore
 from ...sim import Environment, Event
@@ -91,6 +91,11 @@ class IoUring:
         self.syscalls_saved = 0
         self.sqes_submitted = 0
         self.cqes_reaped = 0
+        metrics = blk.metrics
+        self._m_batch = metrics.distribution("uring.sqe_batch_size")
+        self._m_sqes = metrics.counter("uring.sqes_submitted")
+        self._m_cqes = metrics.counter("uring.cqes_reaped")
+        self._m_saved = metrics.counter("uring.syscalls_saved")
         if mode == UringMode.SQPOLL:
             self._sqpoll_proc = env.process(self._sqpoll_loop(), name=f"{name}.sqpoll")
 
@@ -131,10 +136,12 @@ class IoUring:
         batch = len(self.sq)
         if batch == 0:
             return 0
+        self._m_batch.record(batch)
         # Filling the SQEs burns app CPU regardless of mode.
         yield from self.core.run(self.costs.prep_sqe_ns * batch)
         if self.mode == UringMode.SQPOLL:
             self.syscalls_saved += 1
+            self._m_saved.add()
             if self._sq_kick is not None and not self._sq_kick.triggered:
                 self._sq_kick.succeed()
             return batch
@@ -158,6 +165,7 @@ class IoUring:
                     yield from self.kernel.copy(core, sqe.length)
                 self._inflight[sqe.user_data] = sqe
                 self.sqes_submitted += 1
+                self._m_sqes.add()
             if len(chain) == 1:
                 request = yield from self.blk.submit_bio(core, chain[0].bio)
                 self._arm_completion(chain[0], request)
@@ -228,6 +236,7 @@ class IoUring:
         if cqes:
             yield from self.core.run(self.costs.reap_cqe_ns * len(cqes))
             self.cqes_reaped += len(cqes)
+            self._m_cqes.add(len(cqes))
         return cqes
 
     def wait_cqes(self, wait_nr: int = 1, max_cqes: int = 64) -> Generator:

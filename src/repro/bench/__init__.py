@@ -18,6 +18,7 @@ from .experiments import (
     exp_table2,
     exp_table3,
 )
+from .breakdown import exp_breakdown
 from .export import export_all, export_csv
 from .sweep import SweepSpec, run_sweep
 from .tables import format_table, ratio_note
@@ -28,6 +29,7 @@ __all__ = [
     "FIG_BLOCK_SIZES",
     "FIG_IODEPTH",
     "FIG_WORKLOADS",
+    "exp_breakdown",
     "exp_fig3",
     "exp_fig4",
     "exp_fig6",

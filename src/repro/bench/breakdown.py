@@ -1,0 +1,86 @@
+"""Stage-breakdown experiment: where does an I/O spend its time?
+
+Runs the full DeLiBA-K stack with the lifecycle tracer *and* the metrics
+registry enabled and reports, per fio mode, the mean time in each of the
+six stages of the paper's Figure 2 plus the per-layer instruments that
+explain them (ring batch sizes, block-layer queue depth, OSD service
+latency).  The paper names this profiling as future work; here it is a
+first-class experiment.
+"""
+
+from __future__ import annotations
+
+from ..deliba import FRAMEWORKS, build_framework
+from ..trace import STAGES
+from ..units import kib
+from ..workloads import FioJob
+from .experiments import ExperimentResult
+
+#: fio modes profiled (one column pair per mode).
+BREAKDOWN_MODES = ("randread", "randwrite")
+#: Registry names surfaced in the notes, with a human label each.
+_NOTE_METRICS = (
+    ("uring.sqe_batch_size", "mean SQEs per io_uring_enter"),
+    ("uring.syscalls_saved", "syscalls saved by batching"),
+    ("driver.uifd.request_ns", "driver request latency"),
+    ("osd.0.op_latency", "osd.0 service latency"),
+    ("net.bytes", "bytes on the wire"),
+)
+
+
+def _profile(rw: str, bs: int, nreq: int, seed: int):
+    """One traced + metered run of the delibak stack; returns (fw, result)."""
+    fw = build_framework(FRAMEWORKS["delibak"], seed=seed, trace=True, metrics=True)
+    job = FioJob(name=f"breakdown-{rw}", rw=rw, bs=bs, iodepth=1, nrequests=nreq)
+    proc = fw.env.process(fw.run_fio(job), name=f"breakdown:{rw}")
+    fw.env.run()
+    if not proc.ok:
+        raise proc.value
+    return fw, proc.value
+
+
+def _metric_note(fw) -> list[str]:
+    """One line per surfaced instrument, skipping any that stayed empty."""
+    lines = []
+    for name, label in _NOTE_METRICS:
+        if name not in fw.metrics:
+            continue
+        metric = fw.metrics.get(name)
+        if hasattr(metric, "mean_us"):
+            if metric.count:
+                lines.append(f"{label}: {metric.mean_us():.1f} us mean (n={metric.count})")
+        elif hasattr(metric, "mean"):
+            if metric.count:
+                lines.append(f"{label}: {metric.mean():.1f} mean (n={metric.count})")
+        elif metric.value:
+            lines.append(f"{label}: {metric.value}")
+    depth = fw.blk.queue_depth_summary(fw.env.now)
+    if depth:
+        busiest = max(depth, key=depth.get)
+        lines.append(f"time-weighted blk queue depth ({busiest}): {depth[busiest]:.2f}")
+    return lines
+
+
+def exp_breakdown(bs: int = kib(4), nreq: int = 60, seed: int = 0) -> ExperimentResult:
+    """Six-stage latency breakdown of the DeLiBA-K stack (tracer + metrics)."""
+    res = ExperimentResult(
+        "breakdown",
+        f"DeLiBA-K six-stage I/O breakdown, bs={bs}",
+        ["stage"] + [f"{rw} us" for rw in BREAKDOWN_MODES] + [f"{rw} share" for rw in BREAKDOWN_MODES],
+    )
+    summaries = {}
+    notes = []
+    for rw in BREAKDOWN_MODES:
+        fw, _ = _profile(rw, bs, nreq, seed)
+        summaries[rw] = fw.tracer.summary()
+        notes.append(f"[{rw}] " + "; ".join(_metric_note(fw)))
+    totals = {rw: sum(summaries[rw].values()) or 1.0 for rw in BREAKDOWN_MODES}
+    for stage in STAGES:
+        if not any(stage in summaries[rw] for rw in BREAKDOWN_MODES):
+            continue
+        row = [stage]
+        row += [round(summaries[rw].get(stage, 0.0), 2) for rw in BREAKDOWN_MODES]
+        row += [f"{summaries[rw].get(stage, 0.0) / totals[rw]:.1%}" for rw in BREAKDOWN_MODES]
+        res.rows.append(row)
+    res.notes = "\n".join(notes)
+    return res

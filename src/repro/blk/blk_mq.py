@@ -14,13 +14,14 @@ exclusively, and a smaller fixed submit cost (no shared-state locking).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
 from ..errors import BlockLayerError
 from ..host import HostKernel
 from ..host.cpu import CpuCore
-from ..sim import Environment, Semaphore
+from ..sim import NULL_METRICS, Environment, Semaphore
 from .bio import Bio, Request
 from .scheduler import scheduler_factory
 
@@ -63,7 +64,13 @@ class HardwareContext:
     """One hctx: elevator + tag set + dispatch into the driver."""
 
     def __init__(
-        self, env: Environment, index: int, config: BlkMqConfig, queue_rq: QueueRq, tracer=None
+        self,
+        env: Environment,
+        index: int,
+        config: BlkMqConfig,
+        queue_rq: QueueRq,
+        tracer=None,
+        metrics=None,
     ):
         self.env = env
         self.tracer = tracer
@@ -74,6 +81,10 @@ class HardwareContext:
         self.queue_rq = queue_rq
         self.dispatched = 0
         self._draining = False
+        metrics = metrics or NULL_METRICS
+        self._m_dispatched = metrics.counter(f"blk.hwq{index}.dispatched")
+        #: In-flight request count (tags in use) over time.
+        self.depth_series = metrics.timeseries(f"blk.hwq{index}.depth")
 
     def insert(self, request: Request) -> None:
         """Insert into the elevator and kick the dispatch drain."""
@@ -98,6 +109,8 @@ class HardwareContext:
                     break
                 request.dispatched_at = self.env.now
                 self.dispatched += 1
+                self._m_dispatched.add()
+                self.depth_series.record(self.env.now, self.config.tags_per_queue - self.tags.tokens)
                 if self.tracer is not None and request.submitted_at >= 0:
                     self.tracer.record(request.req_id, "dmq", request.submitted_at, self.env.now)
                 self.queue_rq(request)
@@ -116,6 +129,7 @@ class HardwareContext:
 
     def _on_complete(self) -> None:
         self.tags.release()
+        self.depth_series.record(self.env.now, self.config.tags_per_queue - self.tags.tokens)
         # Freed capacity may unblock queued work.
         self.kick()
 
@@ -130,23 +144,30 @@ class BlockLayer:
         queue_rq: QueueRq,
         config: Optional[BlkMqConfig] = None,
         tracer=None,
+        metrics=None,
     ):
         self.env = env
         self.kernel = kernel
         #: Optional repro.trace.Tracer recording lifecycle spans.
         self.tracer = tracer
+        #: MetricsRegistry shared by the whole stack (no-op by default).
+        self.metrics = metrics or NULL_METRICS
         self.config = config or BlkMqConfig()
         if self.config.num_hw_queues < 1:
             raise BlockLayerError("need at least one hardware queue")
         self.hctxs = [
-            HardwareContext(env, i, self.config, queue_rq, tracer=tracer)
+            HardwareContext(env, i, self.config, queue_rq, tracer=tracer, metrics=self.metrics)
             for i in range(self.config.num_hw_queues)
         ]
         self._rr = 0
         self.bios_submitted = 0
         self.merges = 0
+        self._m_bios = self.metrics.counter("blk.bios_submitted")
+        self._m_merges = self.metrics.counter("blk.merges")
         #: Last request per (core, op) retained briefly for plug merging.
         self._plug: dict[tuple[int, str], Request] = {}
+        #: Per-layer request ids (deterministic across runs in a process).
+        self._req_ids = itertools.count(1)
 
     def _hctx_for(self, core: CpuCore) -> HardwareContext:
         if self.config.per_core_mapping:
@@ -168,6 +189,7 @@ class BlockLayer:
         vs. poll), so completion-path CPU is charged by the waiter.
         """
         self.bios_submitted += 1
+        self._m_bios.add()
         hctx = self._hctx_for(core)
         cost = self.config.submit_cost_ns + hctx.scheduler.insert_cost_ns
         yield from core.run(cost)
@@ -181,6 +203,7 @@ class BlockLayer:
         if last is not None and last.dispatched_at < 0 and last.can_merge(bio):
             last.merge(bio)
             self.merges += 1
+            self._m_merges.add()
             return last
         if last is not None:
             hctx.insert(last)  # evict the previous plugged request
@@ -190,7 +213,10 @@ class BlockLayer:
         return request
 
     def _new_request(self, bio: Bio) -> Request:
-        request = Request([bio])
+        # Ids come from the per-layer counter, not the module-global one:
+        # every run numbers its requests from 1, so traced span streams
+        # are identical across seeded runs within one process.
+        request = Request([bio], req_id=next(self._req_ids))
         request.submitted_at = self.env.now
         request.completion = self.env.event()
         return request
@@ -215,3 +241,16 @@ class BlockLayer:
     def total_dispatched(self) -> int:
         """Requests handed to the driver so far."""
         return sum(h.dispatched for h in self.hctxs)
+
+    def queue_depth_summary(self, end_ns: Optional[int] = None) -> dict[str, float]:
+        """Time-weighted mean in-flight depth per active hardware queue.
+
+        The window is closed at ``end_ns`` (default: the current clock)
+        so the final depth sample carries its real weight.
+        """
+        end = self.env.now if end_ns is None else end_ns
+        return {
+            f"hwq{h.index}": h.depth_series.time_weighted_mean(end)
+            for h in self.hctxs
+            if h.depth_series.times
+        }

@@ -14,13 +14,14 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .bench import experiments
-from .deliba import FRAMEWORKS, PoolSpec, build_framework, framework_by_name, run_job_on
+from .bench import breakdown, experiments
+from .deliba import FRAMEWORKS, PoolSpec, build_framework, framework_by_name
 from .units import kib
 from .workloads import FioJob
 
 #: Experiment name -> callable.
 EXPERIMENTS = {
+    "breakdown": breakdown.exp_breakdown,
     "fig3": experiments.exp_fig3,
     "fig4": experiments.exp_fig4,
     "fig6": experiments.exp_fig6,
@@ -53,6 +54,8 @@ def _build_parser() -> argparse.ArgumentParser:
     fio.add_argument("--nrequests", type=int, default=200)
     fio.add_argument("--pool", default="replicated", choices=["replicated", "erasure"])
     fio.add_argument("--seed", type=int, default=0)
+    fio.add_argument("--metrics", action="store_true",
+                     help="collect and print per-layer metrics after the run")
 
     exp = sub.add_parser("experiment", help="reproduce one paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
@@ -77,6 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["read", "write", "randread", "randwrite"])
     trace.add_argument("--bs", type=int, default=kib(4))
     trace.add_argument("--nrequests", type=int, default=50)
+    trace.add_argument("--export", metavar="PATH",
+                       help="write spans as Chrome trace-event JSON (chrome://tracing)")
+    trace.add_argument("--export-csv", metavar="PATH",
+                       help="write spans as flat CSV")
     return parser
 
 
@@ -95,13 +102,24 @@ def _cmd_fio(args) -> int:
     cfg = framework_by_name(args.framework)
     job = FioJob("cli", args.rw, bs=args.bs, iodepth=args.iodepth, nrequests=args.nrequests)
     pool = PoolSpec(kind=args.pool)
-    result = run_job_on(cfg, job, pool_spec=pool, seed=args.seed)
+    object_size = job.bs if pool.kind == "erasure" else None
+    fw = build_framework(
+        cfg, pool_spec=pool, object_size=object_size, seed=args.seed, metrics=args.metrics
+    )
+    proc = fw.env.process(fw.run_fio(job), name=f"{cfg.name}:{job.name}")
+    fw.env.run()
+    if not proc.ok:
+        raise proc.value
+    result = proc.value
     print(f"{cfg.label}: {args.rw} bs={args.bs} iodepth={args.iodepth} x{result.ios}")
     print(f"  mean latency : {result.mean_latency_us():9.1f} us")
     for q in (50, 90, 99, 99.9):
         print(f"  p{q:<12}: {result.percentile_latency_us(q):9.1f} us")
     print(f"  throughput   : {result.throughput_mb_s():9.1f} MB/s")
     print(f"  KIOPS        : {result.kiops():9.2f}")
+    if args.metrics:
+        print()
+        print(fw.metrics.render(end_ns=fw.env.now))
     return 0
 
 
@@ -159,6 +177,12 @@ def _cmd_trace(args) -> int:
     result = proc.value
     print(f"{result.ios} x {args.rw} bs={args.bs}: mean {result.mean_latency_us():.1f} us")
     print(fw.tracer.breakdown_table())
+    if args.export:
+        path = fw.tracer.export_chrome_trace(args.export)
+        print(f"[chrome trace written to {path}]")
+    if args.export_csv:
+        path = fw.tracer.export_csv(args.export_csv)
+        print(f"[span csv written to {path}]")
     return 0
 
 

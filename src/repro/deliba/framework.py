@@ -9,7 +9,7 @@ fio jobs end to end.  This is the library's primary entry point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator, Optional, Union
 
 from ..api import (
     LibAioEngine,
@@ -26,7 +26,7 @@ from ..errors import BenchmarkError
 from ..fpga import Accelerator, AlveoU280, PcieLink, QdmaEngine, spec_by_name
 from ..host import HostKernel
 from ..osd import CephCluster, ClusterSpec, Pool, RBDImage, build_cluster
-from ..sim import Environment, RngRegistry
+from ..sim import NULL_METRICS, Environment, MetricsRegistry, RngRegistry
 from ..units import kib, mib
 from ..trace import Tracer
 from ..workloads.fio import FioJob
@@ -65,6 +65,7 @@ class FrameworkInstance:
         fpga: Optional[AlveoU280] = None,
         qdma: Optional[QdmaEngine] = None,
         accelerators: Optional[dict[str, Accelerator]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.config = config
@@ -81,6 +82,8 @@ class FrameworkInstance:
         self.rng = RngRegistry(cluster.spec.seed)
         #: Lifecycle tracer (populated when built with ``trace=True``).
         self.tracer: Optional[Tracer] = None
+        #: Stack-wide metrics registry (no-op unless built with ``metrics=True``).
+        self.metrics: MetricsRegistry = metrics or NULL_METRICS
 
     def prefill(self, offsets: list[int], bs: int) -> Generator:
         """Process: write the given blocks so subsequent reads find data.
@@ -117,8 +120,13 @@ class FrameworkInstance:
         )
         if prefill and read_offsets:
             yield from self.prefill(read_offsets, job.bs)
+        # Open the job-level measurement window at submission start (not
+        # at the first completion) so the first op's service time counts.
+        meter = self.metrics.meter(f"framework.{job.name}.throughput")
+        meter.start(self.env.now)
         if job.numjobs == 1:
             result = yield from self.engine.run(all_bios[0], job.iodepth)
+            meter.record(result.bytes_moved, result.finished_at)
             return result
         # Like fio, each job gets its own submission context (own rings /
         # threads) over the shared block layer; CPU cores are shared, so
@@ -137,6 +145,7 @@ class FrameworkInstance:
         for r in results.values():
             merged.latencies_ns.extend(r.latencies_ns)
             merged.bytes_moved += r.bytes_moved
+        meter.record(merged.bytes_moved, merged.finished_at)
         return merged
 
 
@@ -175,16 +184,28 @@ def build_framework(
     object_size: Optional[int] = None,
     seed: int = 0,
     trace: bool = False,
+    metrics: Union[bool, MetricsRegistry] = False,
 ) -> FrameworkInstance:
     """Assemble one generation of the stack over a fresh cluster.
 
     ``object_size`` defaults to 4 MiB for replicated pools and must equal
     the workload block size for EC pools (whole-object encode model).
+    With ``metrics=True`` every layer registers its instruments into one
+    shared :class:`MetricsRegistry` (``fw.metrics``); the default is a
+    no-op registry, so instrumentation costs nothing and results are
+    bit-identical either way.  Pass an existing registry to share one
+    across frameworks.
     """
     pool_spec = pool_spec or PoolSpec()
     env = env or Environment()
+    if metrics is True:
+        registry: MetricsRegistry = MetricsRegistry()
+    elif metrics:
+        registry = metrics  # caller-supplied registry
+    else:
+        registry = NULL_METRICS
     spec = cluster_spec or ClusterSpec(seed=seed, client_stack=config.client_stack)
-    cluster = build_cluster(env, spec)
+    cluster = build_cluster(env, spec, metrics=registry)
     if pool_spec.kind == "replicated":
         fault_domain = 1 if pool_spec.size <= spec.num_server_hosts else 0
         pool = cluster.osdmap.create_replicated_pool(
@@ -206,7 +227,7 @@ def build_framework(
     if config.hardware:
         fpga = AlveoU280()
         pcie = PcieLink(env)
-        qdma = QdmaEngine(env, pcie)
+        qdma = QdmaEngine(env, pcie, metrics=registry)
         accelerators["crush"] = Accelerator(
             env, spec_by_name(PLACEMENT_KERNEL, impl=config.accel_impl)
         )
@@ -236,12 +257,14 @@ def build_framework(
             ec_accel=accelerators.get("ec"),
             hardware=config.hardware,
             tracer=tracer,
+            metrics=registry,
         )
 
-    blk = BlockLayer(env, kernel, driver.queue_rq, config.blk, tracer=tracer)
+    blk = BlockLayer(env, kernel, driver.queue_rq, config.blk, tracer=tracer, metrics=registry)
     engine = _build_engine(env, kernel, blk, config)
     fw = FrameworkInstance(
-        env, config, cluster, kernel, pool, image, driver, blk, engine, fpga, qdma, accelerators
+        env, config, cluster, kernel, pool, image, driver, blk, engine, fpga, qdma, accelerators,
+        metrics=registry,
     )
     fw.tracer = tracer
     return fw

@@ -29,7 +29,7 @@ from ..fpga.qdma import QdmaEngine, QueuePurpose, QueueSet
 from ..host import HostKernel
 from ..osd.osdmap import PoolType
 from ..osd.rbd import RBDImage
-from ..sim import Environment
+from ..sim import NULL_METRICS, Environment
 from ..units import us
 from .placement_cost import charge_sw_placement
 
@@ -71,11 +71,16 @@ class UifdDriver:
         function: int = 0,
         hardware: bool = True,
         tracer=None,
+        metrics=None,
     ):
         self.env = env
         self.kernel = kernel
         #: Optional repro.trace.Tracer for lifecycle spans.
         self.tracer = tracer
+        metrics = metrics or NULL_METRICS
+        self._m_requests = metrics.counter("driver.uifd.requests")
+        self._m_request_ns = metrics.latency("driver.uifd.request_ns")
+        self._m_placements = metrics.counter("driver.uifd.placements")
         self.image = image
         self.config = config or UifdConfig()
         self.hardware = hardware
@@ -106,6 +111,7 @@ class UifdDriver:
         self.env.process(self._handle(request), name=f"uifd.rq{request.req_id}")
 
     def _handle(self, request: Request) -> Generator:
+        t0 = self.env.now
         yield from self.core.run(self.config.driver_cost_ns)
         if self.hardware:
             yield from self._handle_hw(request)
@@ -113,6 +119,8 @@ class UifdDriver:
             yield from self._handle_sw(request)
         request.completed_at = self.env.now
         self.requests_completed += 1
+        self._m_requests.add()
+        self._m_request_ns.record(self.env.now - t0)
         request.completion.succeed(request)
 
     # -- hardware datapath ------------------------------------------------------------
@@ -134,6 +142,7 @@ class UifdDriver:
                 trace.record(request.req_id, "qdma", t0, self.env.now)
         # In-datapath CRUSH placement: pipelined, one item per object.
         t0 = self.env.now
+        self._m_placements.add(self._objects_touched(request))
         yield from self.crush_accel.process(self._objects_touched(request))
         if is_ec and request.op == IoOp.WRITE:
             # RS encoder streams the payload in 32 B beats.
@@ -156,6 +165,7 @@ class UifdDriver:
 
     def _handle_sw(self, request: Request) -> Generator:
         objects = self._objects_touched(request)
+        self._m_placements.add(objects)
         yield from charge_sw_placement(
             self.core, self.image, request, self.config.sw_placement_ns
         )

@@ -19,7 +19,7 @@ from enum import Enum
 from typing import Generator
 
 from ..errors import FpgaError
-from ..sim import Environment, Resource
+from ..sim import NULL_METRICS, Environment, Resource
 from ..units import transfer_ns
 from .descriptors import DESCRIPTOR_BYTES, Descriptor, DescriptorKind, DescriptorRing
 from .device import QDMA_CLOCK_HZ
@@ -70,6 +70,7 @@ class QdmaEngine:
         pcie: PcieLink,
         data_bus_bits: int = 256,
         clock_hz: float = QDMA_CLOCK_HZ,
+        metrics=None,
     ):
         if data_bus_bits not in (256, 512):
             raise FpgaError(f"data bus must be 256 or 512 bits, got {data_bus_bits}")
@@ -85,6 +86,12 @@ class QdmaEngine:
         self._c2h_engine = Resource(env, capacity=H2C_CONCURRENCY, name="qdma.c2h")
         self._desc_engine = Resource(env, capacity=4, name="qdma.de")
         self.completions_posted = 0
+        metrics = metrics or NULL_METRICS
+        self._m_h2c_bytes = metrics.counter("fpga.qdma.h2c_bytes")
+        self._m_c2h_bytes = metrics.counter("fpga.qdma.c2h_bytes")
+        self._m_descriptors = metrics.counter("fpga.qdma.descriptors")
+        self._m_completions = metrics.counter("fpga.qdma.completions")
+        self._m_queues = metrics.gauge("fpga.qdma.queues_in_use")
 
     # -- queue management --------------------------------------------------------
 
@@ -98,6 +105,7 @@ class QdmaEngine:
         self._next_qid += 1
         qs = QueueSet(qid, purpose, function)
         self._queues[qid] = qs
+        self._m_queues.set(len(self._queues))
         return qs
 
     def queue(self, qid: int) -> QueueSet:
@@ -151,6 +159,8 @@ class QdmaEngine:
             self._h2c_engine.release(req)
         qs.descriptors_processed += 1
         qs.bytes_moved += nbytes
+        self._m_descriptors.add()
+        self._m_h2c_bytes.add(nbytes)
 
     def c2h_transfer(self, qs: QueueSet, nbytes: int) -> Generator:
         """Process: move ``nbytes`` card -> host and post a completion."""
@@ -170,6 +180,8 @@ class QdmaEngine:
         yield from self.post_completion(qs)
         qs.descriptors_processed += 1
         qs.bytes_moved += nbytes
+        self._m_descriptors.add()
+        self._m_c2h_bytes.add(nbytes)
 
     def post_completion(self, qs: QueueSet) -> Generator:
         """Process: CE writes a completion entry back to host memory."""
@@ -178,6 +190,7 @@ class QdmaEngine:
         yield from self.pcie.c2h(CMPT_BYTES)
         qs.cmpt_ring.fetch(1)
         self.completions_posted += 1
+        self._m_completions.add()
 
     @staticmethod
     def validate_packet(nbytes: int, jumbo: bool = False) -> None:

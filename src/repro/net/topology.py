@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..errors import NetworkError
-from ..sim import Environment, FilterStore
+from ..sim import NULL_METRICS, Environment, FilterStore
 from ..units import gbps, us
 from .link import DEFAULT_MTU, Link
 from .message import Message
@@ -49,8 +49,13 @@ class Network:
         hop_ns: int = DEFAULT_HOP_NS,
         switch_ns: int = DEFAULT_SWITCH_NS,
         mtu: int = DEFAULT_MTU,
+        metrics=None,
     ):
         self.env = env
+        metrics = metrics or NULL_METRICS
+        self._m_messages = metrics.counter("net.messages")
+        self._m_bytes = metrics.counter("net.bytes")
+        self._m_delivery_ns = metrics.latency("net.delivery_ns")
         self.bandwidth_bps = bandwidth_bps
         self.hop_ns = hop_ns
         self.switch_ns = switch_ns
@@ -92,6 +97,9 @@ class Network:
         yield from dst.downlink.transmit(message)
         message.delivered_at = self.env.now
         self.messages_delivered += 1
+        self._m_messages.add()
+        self._m_bytes.add(message.size)
+        self._m_delivery_ns.record(message.delivered_at - message.sent_at)
         for tap in self.taps:
             tap(message)
         yield dst.inbox.put(message)

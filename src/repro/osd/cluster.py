@@ -40,11 +40,13 @@ class ClusterSpec:
 class CephCluster:
     """Everything needed to run object I/O experiments."""
 
-    def __init__(self, env: Environment, spec: Optional[ClusterSpec] = None):
+    def __init__(self, env: Environment, spec: Optional[ClusterSpec] = None, metrics=None):
         self.env = env
         self.spec = spec or ClusterSpec()
         self.rng = RngRegistry(self.spec.seed)
-        self.network = Network(env)
+        #: Stack-wide MetricsRegistry (no-op unless one is passed in).
+        self.metrics = metrics
+        self.network = Network(env, metrics=metrics)
         # Hosts: client0..N and server0..M.
         self.client_hosts = [f"clienthost{i}" for i in range(self.spec.num_clients)]
         self.server_hosts = [f"server{i}" for i in range(self.spec.num_server_hosts)]
@@ -72,7 +74,10 @@ class CephCluster:
                     rng=self.rng.stream(f"dev.{osd_id}"),
                     name=f"osd.{osd_id}",
                 )
-                daemon = OsdDaemon(env, osd_id, self.fabric, device, self.osdmap, self.spec.osd_config)
+                daemon = OsdDaemon(
+                    env, osd_id, self.fabric, device, self.osdmap, self.spec.osd_config,
+                    metrics=metrics,
+                )
                 daemon.start()
                 self.daemons[osd_id] = daemon
         # The monitor lives on the first server and can run heartbeats.
@@ -136,7 +141,10 @@ class CephCluster:
         device = StorageDevice(
             self.env, self.spec.media, rng=self.rng.stream(f"dev.{dev_id}"), name=f"osd.{dev_id}"
         )
-        daemon = OsdDaemon(self.env, dev_id, self.fabric, device, self.osdmap, self.spec.osd_config)
+        daemon = OsdDaemon(
+            self.env, dev_id, self.fabric, device, self.osdmap, self.spec.osd_config,
+            metrics=self.metrics,
+        )
         daemon.start()
         self.daemons[dev_id] = daemon
         self.osdmap.epoch += 1
@@ -161,6 +169,8 @@ class CephCluster:
         return sum(d.ops_served for d in self.daemons.values())
 
 
-def build_cluster(env: Environment, spec: Optional[ClusterSpec] = None) -> CephCluster:
+def build_cluster(
+    env: Environment, spec: Optional[ClusterSpec] = None, metrics=None
+) -> CephCluster:
     """Convenience constructor (paper testbed by default)."""
-    return CephCluster(env, spec)
+    return CephCluster(env, spec, metrics=metrics)

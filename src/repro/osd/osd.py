@@ -18,7 +18,7 @@ from typing import Callable, Generator, Optional
 
 from ..ec import ReedSolomon
 from ..errors import StorageError
-from ..sim import Environment, Resource
+from ..sim import NULL_METRICS, Environment, Resource
 from ..units import us
 from .fabric import Fabric, Messenger
 from .objects import ObjectStore
@@ -73,6 +73,7 @@ class OsdDaemon(Messenger):
         device: StorageDevice,
         osdmap: OSDMap,
         config: Optional[OsdConfig] = None,
+        metrics=None,
     ):
         super().__init__(env, fabric, f"osd.{osd_id}")
         self.osd_id = osd_id
@@ -83,6 +84,9 @@ class OsdDaemon(Messenger):
         self.cpu = Resource(env, capacity=self.config.op_threads, name=f"osd.{osd_id}.workers")
         self.ops_served = 0
         self._codecs: dict[int, ReedSolomon] = {}
+        metrics = metrics or NULL_METRICS
+        self._m_ops = metrics.counter(f"osd.{osd_id}.ops")
+        self._m_op_latency = metrics.latency(f"osd.{osd_id}.op_latency")
 
     def codec_for(self, pool_id: int) -> ReedSolomon:
         """The RS codec for an EC pool (cached)."""
@@ -107,6 +111,7 @@ class OsdDaemon(Messenger):
 
     def on_request(self, op: OsdOp, src: str) -> Generator:
         """Dispatch one op under the worker pool."""
+        t0 = self.env.now
         req = self.cpu.request()
         yield req
         try:
@@ -134,6 +139,8 @@ class OsdDaemon(Messenger):
             self.cpu.release(req)
         reply.epoch = self.osdmap.epoch
         self.ops_served += 1
+        self._m_ops.add()
+        self._m_op_latency.record(self.env.now - t0)
         yield from self.reply_to(src, reply)
 
     def _do_read(self, op: OsdOp) -> Generator:

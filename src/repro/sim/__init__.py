@@ -3,11 +3,19 @@
 Public surface: :class:`Environment` (clock + event queue), generator
 processes, :class:`Resource`/:class:`Semaphore` for counted servers,
 :class:`Store`/:class:`FilterStore` mailboxes, deterministic RNG streams,
-and measurement monitors.
+measurement monitors, and the hierarchical :class:`MetricsRegistry`.
 """
 
 from .core import Condition, Environment, Event, Process, Timeout
-from .monitor import Counter, LatencyRecorder, ThroughputMeter, TimeSeries
+from .metrics import NULL_METRICS, MetricsError, MetricsRegistry, NullMetricsRegistry
+from .monitor import (
+    Counter,
+    Distribution,
+    Gauge,
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+)
 from .resources import Request, Resource, Semaphore
 from .rng import RngRegistry, RngStream
 from .store import FilterStore, Store
@@ -15,10 +23,16 @@ from .store import FilterStore, Store
 __all__ = [
     "Condition",
     "Counter",
+    "Distribution",
     "Environment",
     "Event",
     "FilterStore",
+    "Gauge",
     "LatencyRecorder",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
     "Process",
     "Request",
     "Resource",

@@ -30,6 +30,62 @@ class Counter:
         return f"<Counter {self.name!r}={self.value}>"
 
 
+class Gauge:
+    """A last-write-wins instantaneous value (e.g. queues in use)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = value
+
+    def add(self, delta: float = 1.0) -> None:
+        """Adjust the current value by ``delta`` (may go negative)."""
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name!r}={self.value}>"
+
+
+class Distribution:
+    """Unitless sample distribution (batch sizes, fan-outs, depths)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Append one observation."""
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return float(np.mean(self.samples))
+
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return float(max(self.samples)) if self.samples else 0.0
+
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return float(min(self.samples)) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the samples."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.samples), q))
+
+
 class LatencyRecorder:
     """Accumulates per-operation latencies (integer ns) for one metric."""
 
@@ -68,7 +124,15 @@ class LatencyRecorder:
 
 
 class ThroughputMeter:
-    """Tracks completed operations and bytes over a measurement window."""
+    """Tracks completed operations and bytes over a measurement window.
+
+    Callers must :meth:`start` the window when submission begins, *not*
+    at the first completion: a window opened lazily at the first
+    completion excludes that op's service time, inflating MB/s and KIOPS
+    at low op counts.  Completions recorded without an open window only
+    accumulate ops/bytes; windowed rates stay 0 until the caller either
+    opens the window or passes an explicit duration.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -78,20 +142,18 @@ class ThroughputMeter:
         self.end_ns: Optional[int] = None
 
     def start(self, now_ns: int) -> None:
-        """Open the measurement window."""
+        """Open the measurement window at submission start."""
         self.start_ns = now_ns
 
     def record(self, nbytes: int, now_ns: int) -> None:
         """Record one completed operation of ``nbytes`` at time ``now_ns``."""
-        if self.start_ns is None:
-            self.start_ns = now_ns
         self.ops += 1
         self.bytes += nbytes
         self.end_ns = now_ns
 
     @property
     def elapsed_ns(self) -> int:
-        """Window length in ns (0 before two observations)."""
+        """Window length in ns (0 until started and one op completes)."""
         if self.start_ns is None or self.end_ns is None:
             return 0
         return max(0, self.end_ns - self.start_ns)
@@ -124,12 +186,22 @@ class TimeSeries:
         self.times.append(now_ns)
         self.values.append(value)
 
-    def time_weighted_mean(self) -> float:
-        """Mean of the piecewise-constant signal defined by the samples."""
-        if len(self.times) < 2:
-            return self.values[0] if self.values else 0.0
-        t = np.asarray(self.times, dtype=np.float64)
-        v = np.asarray(self.values, dtype=np.float64)
+    def time_weighted_mean(self, end_ns: Optional[int] = None) -> float:
+        """Mean of the piecewise-constant signal defined by the samples.
+
+        Without ``end_ns`` the final sample gets zero weight (there is no
+        window end to hold it until); pass the observation end time —
+        typically ``env.now`` — so the last segment is weighted too.
+        """
+        times = self.times
+        values = self.values
+        if end_ns is not None and times and end_ns > times[-1]:
+            times = times + [end_ns]
+            values = values + [values[-1]]
+        if len(times) < 2:
+            return values[0] if values else 0.0
+        t = np.asarray(times, dtype=np.float64)
+        v = np.asarray(values, dtype=np.float64)
         dt = np.diff(t)
         total = float(dt.sum())
         if total <= 0:

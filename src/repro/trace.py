@@ -15,12 +15,18 @@ paper's architecture figure:
 6. ``complete``   — completion delivery back to the application.
 
 Enable with ``build_framework(..., trace=True)`` and read
-``fw.tracer.summary()`` afterwards.
+``fw.tracer.summary()`` afterwards, or export the raw span stream with
+:meth:`Tracer.export_chrome_trace` (loadable in ``chrome://tracing`` /
+Perfetto) or :meth:`Tracer.export_csv` (flat, one row per span).
 """
 
 from __future__ import annotations
 
+import csv
+import json
+import pathlib
 from dataclasses import dataclass, field
+from typing import Iterator, Union
 
 import numpy as np
 
@@ -54,6 +60,10 @@ class RequestTrace:
     def stage_ns(self, stage: str) -> int:
         """Total time spent in ``stage`` across its spans."""
         return sum(s.duration_ns for s in self.spans if s.stage == stage)
+
+    def entered(self, stage: str) -> bool:
+        """True if the request has at least one span for ``stage``."""
+        return any(s.stage == stage for s in self.spans)
 
     @property
     def total_ns(self) -> int:
@@ -103,12 +113,17 @@ class Tracer:
     # -- reporting ---------------------------------------------------------------
 
     def summary(self) -> dict[str, float]:
-        """Mean microseconds per stage across all traced requests."""
+        """Mean microseconds per stage across all traced requests.
+
+        Every request that *entered* a stage counts toward that stage's
+        mean, including zero-duration visits — filtering those out would
+        silently bias stage shares upward.
+        """
         out: dict[str, float] = {}
         if not self.traces:
             return out
         for stage in STAGES:
-            vals = [t.stage_ns(stage) for t in self.traces.values() if t.stage_ns(stage) > 0]
+            vals = [t.stage_ns(stage) for t in self.traces.values() if t.entered(stage)]
             if vals:
                 out[stage] = float(np.mean(vals)) / 1000.0
         return out
@@ -124,6 +139,71 @@ class Tracer:
                     f"{stage:10s} {summary[stage]:7.2f}  {summary[stage] / total:6.1%}"
                 )
         return "\n".join(lines)
+
+    # -- span export -------------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[tuple[int, Span]]:
+        """(request_id, span) for every *closed* span, deterministically
+        ordered by start time, then request id, then canonical stage
+        order — a pure function of the simulated run, so two seeded runs
+        export identical streams."""
+        flat = [
+            (rid, span)
+            for rid, trace in self.traces.items()
+            for span in trace.spans
+            if span.end_ns >= 0
+        ]
+        order = {stage: i for i, stage in enumerate(STAGES)}
+        flat.sort(key=lambda e: (e[1].start_ns, e[0], order.get(e[1].stage, len(STAGES))))
+        return iter(flat)
+
+    def to_chrome_trace(self) -> dict:
+        """The span stream as a Chrome trace-event object (JSON-ready).
+
+        Complete ("X") events, one per span, timestamps in microseconds;
+        each request renders as its own track (``tid`` = request id) so
+        the six stages line up left-to-right in ``chrome://tracing``.
+        """
+        events = [
+            {
+                "name": span.stage,
+                "cat": "io",
+                "ph": "X",
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "pid": 0,
+                "tid": rid,
+                "args": {"request_id": rid, "start_ns": span.start_ns, "end_ns": span.end_ns},
+            }
+            for rid, span in self.iter_spans()
+        ]
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": "repro I/O lifecycle"},
+            }
+        )
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def export_chrome_trace(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the Chrome trace-event JSON; returns the path written."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
+        return path
+
+    def export_csv(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the flat span table: one row per closed span."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["request_id", "stage", "start_ns", "end_ns", "duration_ns"])
+            for rid, span in self.iter_spans():
+                writer.writerow([rid, span.stage, span.start_ns, span.end_ns, span.duration_ns])
+        return path
 
 
 class _SpanCtx:

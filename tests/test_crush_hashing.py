@@ -3,7 +3,7 @@
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.crush import crush_ln, hash32, hash32_2, hash32_3, hash32_4, ln_of_uniform_u16, str_hash

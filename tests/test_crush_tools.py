@@ -126,8 +126,6 @@ def test_roundtrip_preserves_reweight():
 
 
 def test_load_rejects_bad_version():
-    import json
-
     cmap, _ = build_flat_cluster(2)
     from repro.crush import dump_map, load_map
 

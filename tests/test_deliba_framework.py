@@ -19,7 +19,7 @@ from repro.errors import BenchmarkError
 from repro.net.stack import KERNEL_TCP
 from repro.osd import PoolType
 from repro.units import kib
-from repro.workloads import FioJob, paper_job
+from repro.workloads import FioJob
 
 
 def small_job(rw="randread", bs=kib(4), iodepth=2, n=20):

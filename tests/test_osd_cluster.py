@@ -4,10 +4,7 @@ import pytest
 
 from repro.errors import StorageError
 from repro.osd import (
-    CephCluster,
     ClusterSpec,
-    OsdConfig,
-    PoolType,
     RBDImage,
     build_cluster,
     shard_object_name,

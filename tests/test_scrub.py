@@ -1,6 +1,5 @@
 """Tests for scrubbing: detection and repair of corrupt replicas/shards."""
 
-import pytest
 
 from repro.osd import ClusterSpec, build_cluster, shard_object_name
 from repro.osd.scrub import Scrubber

@@ -104,3 +104,56 @@ def test_time_series_single_sample():
     ts = TimeSeries()
     ts.record(5, 3.0)
     assert ts.time_weighted_mean() == 3.0
+
+
+def test_throughput_meter_window_opens_at_submission():
+    # Regression: the window must not open lazily at the first completion.
+    # One op submitted at t=0 completing at t=1s is 1 op/s, not "0 ns of
+    # window" (old behavior: start_ns set by record(), elapsed 0, rates
+    # degenerate; with 2 ops the first op's service time vanished,
+    # inflating MB/s and KIOPS at low op counts).
+    m = ThroughputMeter()
+    m.start(0)
+    m.record(MB, SEC)
+    assert m.elapsed_ns == SEC
+    assert m.mb_per_sec() == pytest.approx(1.0)
+    assert m.kiops() == pytest.approx(1e-3)
+
+
+def test_throughput_meter_small_n_not_inflated():
+    m = ThroughputMeter()
+    m.start(0)
+    m.record(MB, SEC)       # first op: 1 s of service time
+    m.record(MB, 2 * SEC)   # second op, 1 s later
+    # Lazy-start would measure 2 MB over 1 s = 2 MB/s; the true rate
+    # over the submission window is 1 MB/s.
+    assert m.mb_per_sec() == pytest.approx(1.0)
+
+
+def test_throughput_meter_record_without_start_has_no_window():
+    m = ThroughputMeter()
+    m.record(MB, SEC)
+    assert m.start_ns is None
+    assert m.elapsed_ns == 0
+    assert m.mb_per_sec() == 0.0
+    assert m.kiops() == 0.0
+    # Totals still accumulate for explicit-duration reporting.
+    assert m.ops == 1 and m.bytes == MB
+
+
+def test_time_series_weighted_mean_with_end():
+    ts = TimeSeries("qd")
+    ts.record(0, 4.0)
+    ts.record(10, 0.0)
+    # Without end_ns the final sample has zero weight.
+    assert ts.time_weighted_mean() == pytest.approx(4.0)
+    # Holding the last value until t=20 halves the mean.
+    assert ts.time_weighted_mean(end_ns=20) == pytest.approx(2.0)
+    # end_ns before the last sample changes nothing.
+    assert ts.time_weighted_mean(end_ns=5) == pytest.approx(4.0)
+
+
+def test_time_series_single_sample_with_end():
+    ts = TimeSeries()
+    ts.record(5, 3.0)
+    assert ts.time_weighted_mean(end_ns=25) == pytest.approx(3.0)
