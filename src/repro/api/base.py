@@ -26,6 +26,8 @@ class RunResult:
     started_at: int = 0
     finished_at: int = 0
     bytes_moved: int = 0
+    #: I/Os that completed with a failure (negative CQE res / errno).
+    errors: int = 0
 
     @property
     def elapsed_ns(self) -> int:
@@ -36,6 +38,12 @@ class RunResult:
     def ios(self) -> int:
         """Completed I/O count."""
         return len(self.latencies_ns)
+
+    def error_rate(self) -> float:
+        """Fraction of completed I/Os that failed (0.0 when none ran)."""
+        if not self.latencies_ns:
+            return 0.0
+        return self.errors / len(self.latencies_ns)
 
     def mean_latency_us(self) -> float:
         """Mean per-I/O latency in microseconds."""

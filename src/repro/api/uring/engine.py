@@ -47,6 +47,7 @@ class UringEngine(AioEngine):
             raise ApiError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
         self.mode = mode
+        self._m_errors = self.metrics.counter(f"api.{self.name}.errors")
         self.instances = [
             IoUring(
                 env,
@@ -109,16 +110,19 @@ class UringEngine(AioEngine):
             if inflight:
                 cqes = yield from inst.wait_cqes(wait_nr=1, max_cqes=self.batch_size)
                 for cqe in cqes:
-                    if not cqe.ok:
-                        raise ApiError(f"I/O failed with res={cqe.res}")
                     pending = inst._complete_t0.pop(cqe.user_data, None)
                     if pending is not None and self.blk.tracer is not None:
                         req_id, t0 = pending
                         self.blk.tracer.record(req_id, "complete", t0, self.env.now)
                     result.latencies_ns.append(self.env.now - submit_times.pop(cqe.user_data))
                     nbytes = sizes.pop(cqe.user_data)
-                    result.bytes_moved += nbytes
-                    meter.record(nbytes, self.env.now)
+                    if cqe.ok:
+                        result.bytes_moved += nbytes
+                        meter.record(nbytes, self.env.now)
+                    else:
+                        # Failed I/O: fio-style, count it but move no bytes.
+                        result.errors += 1
+                        self._m_errors.add()
                     inflight -= 1
 
     def total_syscalls_saved(self) -> int:

@@ -24,6 +24,7 @@ from typing import Generator, Optional
 from ...blk import Bio, BlockLayer, IoOp
 from ...errors import ApiError
 from ...host import HostKernel
+from ...status import BlkStatus
 from ...host.cpu import CpuCore
 from ...sim import Environment, Event
 from .ring import Ring
@@ -186,7 +187,7 @@ class IoUring:
             request = yield from self.blk.submit_bio(core, sqe.bio)
             self.blk.flush_plug(core)
             yield request.completion
-            if request.error:
+            if request.error or request.status:
                 failed = True
             yield from self._post_cqe(sqe, request)
 
@@ -205,7 +206,12 @@ class IoUring:
         yield from self.core.run(self.costs.post_cqe_ns)
         if not sqe.is_fixed_buffer and sqe.bio.op == IoOp.READ:
             yield from self.kernel.copy(self.core, sqe.length)
-        res = sqe.length if not request.error else -5  # -EIO
+        # blk_status_to_errno(): per-bio status -> negative errno in res.
+        status = request.status_for(sqe.bio)
+        if not status and request.error:
+            # Legacy string-only failure (no status set): generic -EIO.
+            status = BlkStatus.IOERR
+        res = sqe.length if not status else -status.errno
         self._inflight.pop(sqe.user_data, None)
         self.cq.push(Cqe(user_data=sqe.user_data, res=res))
         if self.mode == UringMode.INTERRUPT:

@@ -8,6 +8,7 @@ from typing import Optional
 
 from ...blk import Bio
 from ...errors import ApiError
+from ... import errnos
 
 
 class UringOp(Enum):
@@ -28,7 +29,7 @@ CQE_BYTES = 16
 #: SQE flags (subset of the kernel ABI).
 IOSQE_IO_LINK = 1 << 2  # chain: next SQE starts only after this completes
 #: CQE result for an op cancelled because an earlier link member failed.
-ECANCELED = -125
+ECANCELED = -errnos.ECANCELED
 
 
 @dataclass

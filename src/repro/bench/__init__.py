@@ -19,6 +19,7 @@ from .experiments import (
     exp_table3,
 )
 from .breakdown import exp_breakdown
+from .chaos import ChaosRunStats, ChaosScenario, chaos_smoke, exp_chaos, run_chaos_scenario
 from .export import export_all, export_csv
 from .sweep import SweepSpec, run_sweep
 from .tables import format_table, ratio_note
@@ -29,8 +30,13 @@ __all__ = [
     "FIG_BLOCK_SIZES",
     "FIG_IODEPTH",
     "FIG_WORKLOADS",
+    "ChaosRunStats",
+    "ChaosScenario",
+    "chaos_smoke",
     "exp_breakdown",
+    "exp_chaos",
     "exp_fig3",
+    "run_chaos_scenario",
     "exp_fig4",
     "exp_fig6",
     "exp_fig7",

@@ -4,6 +4,7 @@ DMQ is DeLiBA-K's modified multi-queue layer: elevator bypass, per-core
 hardware queues, and a slim submit path (paper Section III-B).
 """
 
+from ..status import BlkStatus, worst_status
 from .bio import SECTOR, Bio, IoOp, Request
 from .blk_mq import DMQ_CONFIG, BlkMqConfig, BlockLayer, HardwareContext
 from .scheduler import MqDeadlineScheduler, NoneScheduler, scheduler_factory
@@ -11,6 +12,7 @@ from .scheduler import MqDeadlineScheduler, NoneScheduler, scheduler_factory
 __all__ = [
     "Bio",
     "BlkMqConfig",
+    "BlkStatus",
     "BlockLayer",
     "DMQ_CONFIG",
     "HardwareContext",
@@ -20,4 +22,5 @@ __all__ = [
     "Request",
     "SECTOR",
     "scheduler_factory",
+    "worst_status",
 ]

@@ -13,6 +13,7 @@ from enum import Enum
 from typing import Optional
 
 from ..errors import BlockLayerError
+from ..status import BlkStatus
 
 SECTOR = 512
 
@@ -66,6 +67,11 @@ class Request:
     dispatched_at: int = -1
     completed_at: int = -1
     error: str = ""
+    #: Request-wide status set by the driver on completion (BLK_STS_*).
+    status: BlkStatus = BlkStatus.OK
+    #: Per-bio statuses, parallel to ``bios``; empty means every bio
+    #: shares the request-wide ``status`` (the common, fault-free case).
+    bio_statuses: list = field(default_factory=list)
     #: Completion event, created by the block layer at submit time and
     #: fired by the driver (value = the request itself).
     completion: Optional[object] = None
@@ -76,6 +82,70 @@ class Request:
         first = self.bios[0]
         if any(b.op != first.op for b in self.bios):
             raise BlockLayerError("cannot mix read and write bios in one request")
+
+    def fail(self, status: BlkStatus, error: str = "") -> None:
+        """Mark the whole request failed (every bio inherits ``status``)."""
+        self.status = status
+        if error and not self.error:
+            self.error = error
+
+    def fail_bio(self, index: int, status: BlkStatus) -> None:
+        """Mark one merged bio failed (partial-failure completion).
+
+        The request-wide status becomes the worst per-bio status, so
+        callers that only look at ``request.status`` still see a failure.
+        """
+        if not self.bio_statuses:
+            self.bio_statuses = [BlkStatus.OK] * len(self.bios)
+        self.bio_statuses[index] = self.bio_statuses[index].combine(status)
+        self.status = self.status.combine(status)
+
+    def fail_extents(self, extent_errors) -> None:
+        """Map failed device byte extents onto the bios they overlap.
+
+        ``extent_errors`` is an iterable of ``(offset, length, status,
+        message)``; bios outside every failed extent stay OK — the
+        partial-failure semantics of a merged multi-bio request.
+        """
+        for offset, length, status, message in extent_errors:
+            end = offset + length
+            hit = False
+            for i, b in enumerate(self.bios):
+                if b.offset < end and offset < b.offset + b.size:
+                    self.fail_bio(i, status)
+                    hit = True
+            if not hit:
+                # Extent maps to no bio (shouldn't happen): fail globally
+                # rather than swallow the error.
+                self.fail(status)
+            if message and not self.error:
+                self.error = message
+
+    def fail_from_exc(self, exc: Exception) -> None:
+        """Map a storage exception onto this request (driver completion).
+
+        Honors ``exc.status`` and per-extent ``exc.extent_errors`` when
+        present (duck-typed so the block layer needs no osd imports).
+        """
+        extents = getattr(exc, "extent_errors", ())
+        if extents:
+            self.fail_extents(extents)
+            if not self.error:
+                self.error = str(exc)
+        else:
+            self.fail(getattr(exc, "status", BlkStatus.IOERR), str(exc))
+
+    def status_for(self, bio: Bio) -> BlkStatus:
+        """Completion status of one merged bio (identity lookup).
+
+        Bios are mutable (unhashable), so this scans by identity — merged
+        requests hold only a handful of bios.
+        """
+        if self.bio_statuses:
+            for i, b in enumerate(self.bios):
+                if b is bio:
+                    return self.bio_statuses[i]
+        return self.status
 
     @property
     def op(self) -> IoOp:

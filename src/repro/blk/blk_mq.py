@@ -83,6 +83,7 @@ class HardwareContext:
         self._draining = False
         metrics = metrics or NULL_METRICS
         self._m_dispatched = metrics.counter(f"blk.hwq{index}.dispatched")
+        self._m_req_errors = metrics.counter("blk.request_errors")
         #: In-flight request count (tags in use) over time.
         self.depth_series = metrics.timeseries(f"blk.hwq{index}.depth")
 
@@ -123,13 +124,15 @@ class HardwareContext:
         if completion is None:
             raise BlockLayerError(f"request {request.req_id} dispatched without completion event")
         if completion.processed:
-            self._on_complete()
+            self._on_complete(request)
         else:
-            completion.callbacks.append(lambda _ev: self._on_complete())
+            completion.callbacks.append(lambda _ev: self._on_complete(request))
 
-    def _on_complete(self) -> None:
+    def _on_complete(self, request: Request) -> None:
         self.tags.release()
         self.depth_series.record(self.env.now, self.config.tags_per_queue - self.tags.tokens)
+        if request.status or request.error:
+            self._m_req_errors.add()
         # Freed capacity may unblock queued work.
         self.kick()
 

@@ -69,6 +69,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--pool", default="replicated", choices=["replicated", "erasure"])
     sweep.add_argument("--csv", help="also write the grid to this CSV path")
 
+    chaos = sub.add_parser("chaos", help="fault-tolerance datapath under chaos injection")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="small seeded crash run; exit nonzero if any I/O error "
+                            "surfaces, no retry/failover fires, or runs diverge")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--nrequests", type=int, default=300)
+
     replay = sub.add_parser("replay", help="replay an I/O trace file")
     replay.add_argument("trace_file")
     replay.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
@@ -128,6 +135,17 @@ def _cmd_experiment(name: str) -> int:
     for n in names:
         print(EXPERIMENTS[n]().render())
         print()
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .bench.chaos import chaos_smoke, exp_chaos
+
+    if args.smoke:
+        code, report = chaos_smoke(seed=args.seed, nrequests=min(args.nrequests, 80))
+        print(report)
+        return code
+    print(exp_chaos(seed=args.seed).render())
     return 0
 
 
@@ -195,6 +213,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fio(args)
     if args.command == "experiment":
         return _cmd_experiment(args.name)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "replay":

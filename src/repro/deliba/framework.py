@@ -145,6 +145,7 @@ class FrameworkInstance:
         for r in results.values():
             merged.latencies_ns.extend(r.latencies_ns)
             merged.bytes_moved += r.bytes_moved
+            merged.errors += r.errors
         meter.record(merged.bytes_moved, merged.finished_at)
         return merged
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..blk import IoOp, Request
-from ..errors import DriverError
+from ..errors import DriverError, StorageError
 from ..fpga.accelerators import Accelerator
 from ..fpga.qdma import QdmaEngine, QueuePurpose, QueueSet
 from ..host import HostKernel
@@ -156,6 +156,8 @@ class NbdDriver:
             yield from self._image_io(request)
             if self.hardware and request.op == IoOp.READ:
                 yield from self.qdma.c2h_transfer(self.queue, request.size)
+        except StorageError as exc:
+            request.fail_from_exc(exc)
         finally:
             self._daemon.release(req)
         # Completion notification back through the daemon socket.

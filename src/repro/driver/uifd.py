@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..blk import IoOp, Request
-from ..errors import DriverError
+from ..errors import DriverError, StorageError
 from ..fpga.accelerators import Accelerator
 from ..fpga.qdma import QdmaEngine, QueuePurpose, QueueSet
 from ..host import HostKernel
@@ -81,6 +81,7 @@ class UifdDriver:
         self._m_requests = metrics.counter("driver.uifd.requests")
         self._m_request_ns = metrics.latency("driver.uifd.request_ns")
         self._m_placements = metrics.counter("driver.uifd.placements")
+        self._m_errors = metrics.counter("driver.uifd.request_errors")
         self.image = image
         self.config = config or UifdConfig()
         self.hardware = hardware
@@ -113,10 +114,17 @@ class UifdDriver:
     def _handle(self, request: Request) -> Generator:
         t0 = self.env.now
         yield from self.core.run(self.config.driver_cost_ns)
-        if self.hardware:
-            yield from self._handle_hw(request)
-        else:
-            yield from self._handle_sw(request)
+        try:
+            if self.hardware:
+                yield from self._handle_hw(request)
+            else:
+                yield from self._handle_sw(request)
+        except StorageError as exc:
+            # Never strand the request: complete it with a BLK_STS_*
+            # status so the CQE surfaces a negative errno instead of the
+            # waiter hanging on an event nobody will fire.
+            request.fail_from_exc(exc)
+            self._m_errors.add()
         request.completed_at = self.env.now
         self.requests_completed += 1
         self._m_requests.add()

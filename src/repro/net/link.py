@@ -48,6 +48,23 @@ class Link:
         self._channel = Resource(env, capacity=1, name=f"link:{name}")
         self.bytes_sent = 0
         self.frames_sent = 0
+        #: Administrative state: messages offered to a down link are lost
+        #: (the fabric checks before transmitting).  Flap via set_up().
+        self.up = True
+        #: Down transitions seen (chaos link-flap accounting).
+        self.flaps = 0
+
+    def set_up(self, up: bool) -> None:
+        """Raise or lower the link (chaos link flaps).
+
+        In-flight frames finish serializing — the flap takes effect for
+        traffic offered after the transition, like pulling a cable
+        between frames.
+        """
+        if up != self.up:
+            self.up = up
+            if not up:
+                self.flaps += 1
 
     def wire_bytes(self, payload_bytes: int) -> int:
         """Bytes on the wire including per-frame Ethernet overhead."""

@@ -82,6 +82,10 @@ class Network:
             raise NetworkError(f"unknown host {name!r}")
         return self.hosts[name]
 
+    def path_up(self, src: str, dst: str) -> bool:
+        """True when every link on the src -> switch -> dst path is up."""
+        return self.host(src).uplink.up and self.host(dst).downlink.up
+
     def send(self, message: Message) -> Generator:
         """Process: move a message src -> switch -> dst and deliver it.
 

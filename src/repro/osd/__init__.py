@@ -11,8 +11,9 @@ from .faults import FaultInjector
 from .scrub import Inconsistency, ScrubReport, Scrubber
 from .zoned import Zone, ZoneState, ZonedDevice
 from .cluster import CephCluster, ClusterSpec, build_cluster
-from .fabric import Envelope, Fabric, Messenger
+from .fabric import Envelope, Fabric, MessageFaults, Messenger
 from .monitor import Monitor, RecoveryStats
+from .policy import DEFAULT_POLICY, OpPolicy
 from .objects import ObjectStore
 from .ops import OP_HEADER_BYTES, OpKind, OsdOp, OsdReply
 from .osd import OsdConfig, OsdDaemon, shard_object_name
@@ -31,7 +32,10 @@ __all__ = [
     "ZonedDevice",
     "ClusterSpec",
     "DEFAULT_OBJECT_SIZE",
+    "DEFAULT_POLICY",
     "Envelope",
+    "MessageFaults",
+    "OpPolicy",
     "Extent",
     "Fabric",
     "HDD",

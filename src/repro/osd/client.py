@@ -4,6 +4,12 @@ Implements both op topologies (see ``osd.py``): primary-mediated
 (software Ceph) and direct client fan-out (the DeLiBA datapath, where
 the client-side FPGA addresses every replica/shard itself).
 
+Every op runs under an :class:`repro.osd.policy.OpPolicy`: on a failed
+or timed-out reply the client re-runs CRUSH placement against the
+current OSDMap epoch and retries — reads fail over primary ->
+secondaries, EC reads degrade to decode-from-survivors, and writes
+replay idempotently by op id (the OSD reply cache absorbs duplicates).
+
 The client charges **no** host API or placement-compute costs — those
 belong to the framework layer (``repro.deliba``), which wraps this
 client with the per-generation cost model.
@@ -15,25 +21,49 @@ from typing import Generator, Optional
 
 from ..crush import CRUSH_ITEM_NONE, PlacementEngine
 from ..ec import ReedSolomon
-from ..errors import StorageError
-from ..sim import Environment
+from ..errors import OsdOpError, StorageError
+from ..sim import NULL_METRICS, Environment
+from ..status import BlkStatus
 from .fabric import Fabric, Messenger
 from .ops import OpKind, OsdOp, OsdReply
 from .osdmap import OSDMap, Pool, PoolType
+from .policy import DEFAULT_POLICY, OpPolicy
 
 
 class RadosClient(Messenger):
     """One client entity issuing object I/O."""
 
-    def __init__(self, env: Environment, fabric: Fabric, osdmap: OSDMap, name: str = "client0"):
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        osdmap: OSDMap,
+        name: str = "client0",
+        policy: Optional[OpPolicy] = None,
+        rng=None,
+        metrics=None,
+    ):
         super().__init__(env, fabric, name)
         self.osdmap = osdmap
         self.placement = PlacementEngine(osdmap.crush)
         self._placement_epoch = osdmap.epoch
         self._codecs: dict[int, ReedSolomon] = {}
+        self.policy = policy or DEFAULT_POLICY
+        #: RNG substream for backoff jitter (None = no jitter).
+        self._rng = rng
         self.ops_completed = 0
         #: CRUSH work counter of the last placement (profiling hook).
         self.last_placement_ops = 0
+        # Fault-path accounting (mirrored into the metrics registry).
+        self.retries = 0
+        self.timeouts = 0
+        self.failovers = 0
+        self.degraded_reads = 0
+        metrics = metrics or NULL_METRICS
+        self._m_retries = metrics.counter("client.retries")
+        self._m_timeouts = metrics.counter("client.timeouts")
+        self._m_failovers = metrics.counter("client.failovers")
+        self._m_degraded = metrics.counter("client.degraded_reads")
 
     def _codec(self, pool: Pool) -> ReedSolomon:
         if pool.pool_id not in self._codecs:
@@ -51,6 +81,45 @@ class RadosClient(Messenger):
         self.last_placement_ops = self.placement.mapper.last_ops
         return acting
 
+    # -- retry bookkeeping ---------------------------------------------------------
+
+    def _note_retry(self) -> None:
+        self.retries += 1
+        self._m_retries.add()
+
+    def _note_failover(self) -> None:
+        self.failovers += 1
+        self._m_failovers.add()
+
+    def _note_degraded(self) -> None:
+        self.degraded_reads += 1
+        self._m_degraded.add()
+
+    def _note_failure(self, reply: OsdReply) -> None:
+        if reply.status is BlkStatus.TIMEOUT:
+            self.timeouts += 1
+            self._m_timeouts.add()
+
+    def _backoff(self, attempt: int) -> Generator:
+        """Process: retry delay before attempt ``attempt + 1``."""
+        delay = self.policy.backoff_ns(attempt, self._rng)
+        if delay > 0:
+            yield self.env.timeout(delay)
+
+    @staticmethod
+    def _exhausted(kind: str, object_name: str, attempts: int, last) -> OsdOpError:
+        if isinstance(last, OsdReply):
+            status, detail = last.status, last.error
+        elif isinstance(last, StorageError):
+            status, detail = getattr(last, "status", BlkStatus.IOERR), str(last)
+        else:
+            status, detail = BlkStatus.IOERR, "no reply"
+        return OsdOpError(
+            f"{kind} {object_name!r} failed after {attempts} attempts: {detail}",
+            status=status,
+            attempts=attempts,
+        )
+
     # -- replicated pools ---------------------------------------------------------
 
     def write_replicated(
@@ -65,66 +134,127 @@ class RadosClient(Messenger):
         """Process: durable write of ``data`` to all replicas.
 
         ``direct=True`` fans out from the client (DeLiBA); otherwise the
-        op routes through the primary, which forwards sub-ops.
+        op routes through the primary, which forwards sub-ops.  Failed
+        targets are retried under the policy against freshly computed
+        placement; already-acked replicas are not re-sent, and re-sent
+        ops keep their id so OSDs replay them idempotently.
         """
         if pool.pool_type != PoolType.REPLICATED:
             raise StorageError(f"pool {pool.name!r} is not replicated")
-        acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
-        if not acting:
-            raise StorageError(f"no acting set for {object_name!r} (cluster too degraded)")
-        if direct:
-            procs = []
-            for target in acting:
-                op = OsdOp(
-                    OpKind.WRITE_DIRECT,
-                    pool.pool_id,
-                    object_name,
-                    offset,
-                    len(data),
-                    data=data,
-                    sequential=sequential,
-                    epoch=self.osdmap.epoch,
+        policy = self.policy
+        ops: dict[int, OsdOp] = {}  # target -> op, reused across attempts
+        done: set[int] = set()
+        primary_op: Optional[OsdOp] = None
+        last = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._note_retry()
+                yield from self._backoff(attempt - 1)
+            acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
+            if not acting:
+                raise StorageError(f"no acting set for {object_name!r} (cluster too degraded)")
+            if direct:
+                targets = [t for t in acting if t not in done]
+                if not targets:  # epoch change shrank acting to acked replicas
+                    self.ops_completed += 1
+                    return
+                procs = {}
+                for target in targets:
+                    op = ops.get(target)
+                    if op is None:
+                        op = OsdOp(
+                            OpKind.WRITE_DIRECT,
+                            pool.pool_id,
+                            object_name,
+                            offset,
+                            len(data),
+                            data=data,
+                            sequential=sequential,
+                            epoch=self.osdmap.epoch,
+                        )
+                        ops[target] = op
+                    else:
+                        op.epoch = self.osdmap.epoch
+                    procs[target] = self.env.process(
+                        self.call(f"osd.{target}", op, timeout_ns=policy.timeout_ns), name="wr"
+                    )
+                results = yield self.env.all_of(list(procs.values()))
+                for target, proc in procs.items():
+                    reply = results[proc]
+                    if reply.ok:
+                        done.add(target)
+                    else:
+                        self._note_failure(reply)
+                        last = reply
+                if all(t in done for t in acting):
+                    self.ops_completed += 1
+                    return
+            else:
+                primary = acting[0]
+                if primary_op is None:
+                    primary_op = OsdOp(
+                        OpKind.WRITE,
+                        pool.pool_id,
+                        object_name,
+                        offset,
+                        len(data),
+                        data=data,
+                        acting=tuple(acting),
+                        sequential=sequential,
+                        epoch=self.osdmap.epoch,
+                    )
+                else:
+                    primary_op.acting = tuple(acting)
+                    primary_op.epoch = self.osdmap.epoch
+                reply = yield from self.call(
+                    f"osd.{primary}", primary_op, timeout_ns=policy.timeout_ns
                 )
-                procs.append(self.env.process(self.call(f"osd.{target}", op), name="wr"))
-            results = yield self.env.all_of(procs)
-            self._check_replies(results.values())
-        else:
-            op = OsdOp(
-                OpKind.WRITE,
-                pool.pool_id,
-                object_name,
-                offset,
-                len(data),
-                data=data,
-                acting=tuple(acting),
-                sequential=sequential,
-                epoch=self.osdmap.epoch,
-            )
-            reply = yield from self.call(f"osd.{acting[0]}", op)
-            self._check_replies([reply])
-        self.ops_completed += 1
+                if reply.ok:
+                    self.ops_completed += 1
+                    return
+                self._note_failure(reply)
+                last = reply
+        raise self._exhausted("write", object_name, policy.max_attempts, last)
 
     def read_replicated(
         self, pool: Pool, object_name: str, offset: int, length: int
     ) -> Generator:
-        """Process: read from the primary replica; returns bytes."""
+        """Process: read, failing over primary -> secondaries; returns bytes.
+
+        Each attempt walks the acting set in order; any replica
+        answering "no such object" is authoritative (unwritten extents
+        of a block image read as zeros, librbd semantics).  Every
+        (attempt, target) pair uses a fresh op id, so a reply that
+        limps in after its timeout is dropped, never misdelivered.
+        """
         if pool.pool_type != PoolType.REPLICATED:
             raise StorageError(f"pool {pool.name!r} is not replicated")
-        acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
-        if not acting:
-            raise StorageError(f"no acting set for {object_name!r}")
-        op = OsdOp(
-            OpKind.READ, pool.pool_id, object_name, offset, length, epoch=self.osdmap.epoch
-        )
-        reply = yield from self.call(f"osd.{acting[0]}", op)
-        if not reply.ok and reply.error.startswith("no such object"):
-            # ENOENT: unwritten extents of a block image read as zeros
-            # (librbd semantics).
-            self.ops_completed += 1
-            return b"\x00" * length
-        self._check_replies([reply])
-        self.ops_completed += 1
-        return reply.data
+        policy = self.policy
+        last = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._note_retry()
+                yield from self._backoff(attempt - 1)
+            acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
+            if not acting:
+                raise StorageError(f"no acting set for {object_name!r}")
+            for idx, target in enumerate(acting):
+                op = OsdOp(
+                    OpKind.READ, pool.pool_id, object_name, offset, length,
+                    epoch=self.osdmap.epoch,
+                )
+                reply = yield from self.call(f"osd.{target}", op, timeout_ns=policy.timeout_ns)
+                if reply.ok:
+                    if idx > 0:
+                        self._note_failover()
+                    self.ops_completed += 1
+                    return reply.data
+                if reply.error.startswith("no such object"):
+                    self.ops_completed += 1
+                    return b"\x00" * length
+                self._note_failure(reply)
+                last = reply
+        raise self._exhausted("read", object_name, policy.max_attempts, last)
 
     # -- erasure-coded pools ----------------------------------------------------------
 
@@ -140,105 +270,169 @@ class RadosClient(Messenger):
 
         ``direct=True``: the client encodes and addresses each shard OSD
         itself (codec CPU/FPGA cost is charged by the framework layer).
-        Otherwise the primary encodes and fans out.
+        Otherwise the primary encodes and fans out.  Shards already
+        acked by their current target are not re-sent on retry.
         """
         if pool.pool_type != PoolType.ERASURE:
             raise StorageError(f"pool {pool.name!r} is not erasure-coded")
-        acting = self.compute_placement(pool, object_name)
-        targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
-        if len(targets) < pool.k:
-            raise StorageError(
-                f"only {len(targets)} shard targets for {object_name!r}, need k={pool.k}"
-            )
-        if direct:
-            shards = self._codec(pool).encode(data)
-            procs = []
-            for rank, target in targets:
-                op = OsdOp(
-                    OpKind.SHARD_WRITE,
-                    pool.pool_id,
-                    object_name,
-                    0,
-                    len(shards[rank]),
-                    data=shards[rank],
-                    shard=rank,
-                    sequential=sequential,
-                    epoch=self.osdmap.epoch,
+        policy = self.policy
+        shards: Optional[list[bytes]] = None
+        shard_ops: dict[tuple[int, int], OsdOp] = {}  # (rank, target) -> op
+        written: dict[int, int] = {}  # rank -> target that acked
+        primary_op: Optional[OsdOp] = None
+        last = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._note_retry()
+                yield from self._backoff(attempt - 1)
+            acting = self.compute_placement(pool, object_name)
+            targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
+            if len(targets) < pool.k:
+                raise StorageError(
+                    f"only {len(targets)} shard targets for {object_name!r}, need k={pool.k}"
                 )
-                procs.append(self.env.process(self.call(f"osd.{target}", op), name="shard"))
-            results = yield self.env.all_of(procs)
-            self._check_replies(results.values())
-        else:
-            primary = targets[0][1]
-            op = OsdOp(
-                OpKind.EC_WRITE,
-                pool.pool_id,
-                object_name,
-                0,
-                len(data),
-                data=data,
-                acting=tuple(osd for _, osd in targets),
-                sequential=sequential,
-                epoch=self.osdmap.epoch,
-            )
-            reply = yield from self.call(f"osd.{primary}", op)
-            self._check_replies([reply])
-        self.ops_completed += 1
+            if direct:
+                if shards is None:
+                    shards = self._codec(pool).encode(data)
+                pending = [(rank, t) for rank, t in targets if written.get(rank) != t]
+                if not pending:
+                    self.ops_completed += 1
+                    return
+                procs = {}
+                for rank, target in pending:
+                    key = (rank, target)
+                    op = shard_ops.get(key)
+                    if op is None:
+                        op = OsdOp(
+                            OpKind.SHARD_WRITE,
+                            pool.pool_id,
+                            object_name,
+                            0,
+                            len(shards[rank]),
+                            data=shards[rank],
+                            shard=rank,
+                            sequential=sequential,
+                            epoch=self.osdmap.epoch,
+                        )
+                        shard_ops[key] = op
+                    else:
+                        op.epoch = self.osdmap.epoch
+                    procs[key] = self.env.process(
+                        self.call(f"osd.{target}", op, timeout_ns=policy.timeout_ns),
+                        name="shard",
+                    )
+                results = yield self.env.all_of(list(procs.values()))
+                complete = True
+                for (rank, target), proc in procs.items():
+                    reply = results[proc]
+                    if reply.ok:
+                        written[rank] = target
+                    else:
+                        complete = False
+                        self._note_failure(reply)
+                        last = reply
+                if complete:
+                    self.ops_completed += 1
+                    return
+            else:
+                primary = targets[0][1]
+                if primary_op is None:
+                    primary_op = OsdOp(
+                        OpKind.EC_WRITE,
+                        pool.pool_id,
+                        object_name,
+                        0,
+                        len(data),
+                        data=data,
+                        acting=tuple(osd for _, osd in targets),
+                        sequential=sequential,
+                        epoch=self.osdmap.epoch,
+                    )
+                else:
+                    primary_op.acting = tuple(osd for _, osd in targets)
+                    primary_op.epoch = self.osdmap.epoch
+                reply = yield from self.call(
+                    f"osd.{primary}", primary_op, timeout_ns=policy.timeout_ns
+                )
+                if reply.ok:
+                    self.ops_completed += 1
+                    return
+                self._note_failure(reply)
+                last = reply
+        raise self._exhausted("ec write", object_name, policy.max_attempts, last)
 
     def read_ec(
         self, pool: Pool, object_name: str, length: int, direct: bool = False
     ) -> Generator:
-        """Process: EC read of a whole object of known ``length``."""
+        """Process: EC read of a whole object of known ``length``.
+
+        When shards are unreachable the gather falls back to parity
+        ranks and the read degrades to decode-from-survivors (counted in
+        ``degraded_reads``); whole-read failures retry under the policy.
+        """
         if pool.pool_type != PoolType.ERASURE:
             raise StorageError(f"pool {pool.name!r} is not erasure-coded")
-        acting = self.compute_placement(pool, object_name)
-        targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
-        if len(targets) < pool.k:
-            raise StorageError(f"unrecoverable {object_name!r}: {len(targets)} < k={pool.k}")
-        if direct:
-            codec = self._codec(pool)
-            shard_len = codec.shard_size(length)
-            shards = yield from gather_shards(
-                self, pool, object_name, targets, shard_len, self.osdmap.epoch
+        policy = self.policy
+        last = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._note_retry()
+                yield from self._backoff(attempt - 1)
+            acting = self.compute_placement(pool, object_name)
+            targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
+            if len(targets) < pool.k:
+                raise StorageError(f"unrecoverable {object_name!r}: {len(targets)} < k={pool.k}")
+            if direct:
+                codec = self._codec(pool)
+                shard_len = codec.shard_size(length)
+                try:
+                    shards, degraded = yield from gather_shards(
+                        self, pool, object_name, targets, shard_len, self.osdmap.epoch,
+                        timeout_ns=policy.timeout_ns,
+                    )
+                except StorageError as exc:
+                    last = exc
+                    continue
+                if degraded:
+                    self._note_degraded()
+                self.ops_completed += 1
+                return codec.decode(shards, length)
+            primary = targets[0][1]
+            op = OsdOp(
+                OpKind.EC_READ,
+                pool.pool_id,
+                object_name,
+                0,
+                length,
+                acting=tuple(osd for _, osd in targets),
+                epoch=self.osdmap.epoch,
             )
-            self.ops_completed += 1
-            return codec.decode(shards, length)
-        primary = targets[0][1]
-        op = OsdOp(
-            OpKind.EC_READ,
-            pool.pool_id,
-            object_name,
-            0,
-            length,
-            acting=tuple(osd for _, osd in targets),
-            epoch=self.osdmap.epoch,
-        )
-        reply = yield from self.call(f"osd.{primary}", op)
-        self._check_replies([reply])
-        self.ops_completed += 1
-        return reply.data
-
-    # -- helpers ------------------------------------------------------------------------
-
-    @staticmethod
-    def _check_replies(replies) -> None:
-        for reply in replies:
-            if isinstance(reply, OsdReply) and not reply.ok:
-                raise StorageError(f"osd op {reply.op_id} failed: {reply.error}")
+            reply = yield from self.call(f"osd.{primary}", op, timeout_ns=policy.timeout_ns)
+            if reply.ok:
+                self.ops_completed += 1
+                return reply.data
+            self._note_failure(reply)
+            last = reply
+        raise self._exhausted("ec read", object_name, policy.max_attempts, last)
 
 
-def gather_shards(messenger, pool, object_name, targets, shard_len, epoch, preloaded=None):
-    """Process: collect >= k shards, retrying beyond the first k ranks.
+def gather_shards(
+    messenger, pool, object_name, targets, shard_len, epoch, preloaded=None, timeout_ns=None
+):
+    """Process: collect >= k shards; returns ``(shards, degraded)``.
 
     Phase 1 reads the first k ranks in parallel (the healthy fast path);
-    if some targets lack their shard (degraded placement before recovery
-    finished), further ranks are queried until k shards are in hand.
-    Shared between the client-direct path and the EC primary, which
-    passes its locally-read shard via ``preloaded``.
+    if some targets lack their shard or fail to answer (degraded
+    placement, crashed OSD, lost message), further ranks are queried
+    until k shards are in hand — ``degraded`` is True when any queried
+    target failed and the decode runs from survivors.  Shared between
+    the client-direct path and the EC primary, which passes its
+    locally-read shard via ``preloaded``.
     """
     env = messenger.env
     shards: list[Optional[bytes]] = [None] * pool.size
     got = 0
+    degraded = False
     if preloaded:
         for rank, data in preloaded.items():
             shards[rank] = data
@@ -259,15 +453,19 @@ def gather_shards(messenger, pool, object_name, targets, shard_len, epoch, prelo
                 shard=rank,
                 epoch=epoch,
             )
-            procs[rank] = env.process(messenger.call(f"osd.{target}", op), name="shard")
+            procs[rank] = env.process(
+                messenger.call(f"osd.{target}", op, timeout_ns=timeout_ns), name="shard"
+            )
         results = yield env.all_of(list(procs.values()))
         for rank, proc in procs.items():
             reply = results[proc]
             if reply.ok:
                 shards[rank] = reply.data
                 got += 1
+            else:
+                degraded = True
     if got < pool.k:
         raise StorageError(
             f"object {object_name!r}: only {got} shards readable, need k={pool.k}"
         )
-    return shards
+    return shards, degraded

@@ -20,6 +20,7 @@ from .fabric import Fabric, Messenger
 from .monitor import Monitor
 from .osd import OsdConfig, OsdDaemon
 from .osdmap import OSDMap, Pool
+from .policy import OpPolicy
 from .storage import NVME_SSD, MediaProfile, StorageDevice
 
 
@@ -34,6 +35,8 @@ class ClusterSpec:
     osd_config: OsdConfig = field(default_factory=OsdConfig)
     client_stack: StackProfile = KERNEL_TCP
     bucket_alg: BucketAlg = BucketAlg.STRAW2
+    #: Retry/failover policy installed on every client this cluster mints.
+    op_policy: OpPolicy = field(default_factory=OpPolicy)
     seed: int = 0
 
 
@@ -99,7 +102,15 @@ class CephCluster:
             raise StorageError(f"client {name!r} already exists")
         host = self.client_hosts[len(self._clients) % len(self.client_hosts)]
         self.fabric.register(name, host, stack or self.spec.client_stack)
-        client = RadosClient(self.env, self.fabric, self.osdmap, name)
+        client = RadosClient(
+            self.env,
+            self.fabric,
+            self.osdmap,
+            name,
+            policy=self.spec.op_policy,
+            rng=self.rng.stream(f"backoff.{name}"),
+            metrics=self.metrics,
+        )
         client.start()
         self._clients[name] = client
         return client
@@ -155,6 +166,15 @@ class CephCluster:
     def fail_osd(self, osd_id: int) -> None:
         """Kill an OSD (daemon stops; epoch bumps; CRUSH remaps)."""
         self.monitor.fail_osd(osd_id)
+
+    def crash_osd(self, osd_id: int) -> None:
+        """Crash an OSD *silently*: in-flight ops die with connection
+        resets but nobody marks it down — detection is the heartbeat
+        loop's job (the realistic chaos scenario)."""
+        daemon = self.daemons.get(osd_id)
+        if daemon is None:
+            raise StorageError(f"unknown osd.{osd_id}")
+        daemon.stop()
 
     def any_live_daemon(self) -> OsdDaemon:
         """A live daemon usable as recovery helper."""

@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
-from ..errors import NetworkError
+from ..errors import NetworkError, ProcessKilled
 from ..sim import Environment, Event, Store
+from ..status import BlkStatus
 from ..units import transfer_ns, us
 from .ops import OsdOp, OsdReply
 from ..net.message import Message
@@ -38,6 +39,45 @@ class Envelope:
     src: str
     payload: Any
     size: int
+    #: Payload arrived damaged (chaos injection); receivers treat it as
+    #: a checksum mismatch instead of parsing garbage.
+    corrupted: bool = False
+
+
+@dataclass
+class MessageFaults:
+    """Deterministic message-level chaos on cross-host traffic.
+
+    One RNG draw classifies each cross-host message as dropped,
+    duplicated, corrupted, or clean; draws come from a named sim RNG
+    substream so the same seed yields the same fault pattern.  Loopback
+    traffic is exempt (there is no wire to lose it on).
+    """
+
+    rng: Any
+    drop_p: float = 0.0
+    duplicate_p: float = 0.0
+    corrupt_p: float = 0.0
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+
+    def classify(self) -> Optional[str]:
+        """Fate of one message: 'drop' | 'duplicate' | 'corrupt' | None."""
+        total = self.drop_p + self.duplicate_p + self.corrupt_p
+        if total <= 0:
+            return None
+        r = self.rng.uniform(0.0, 1.0)
+        if r < self.drop_p:
+            self.dropped += 1
+            return "drop"
+        if r < self.drop_p + self.duplicate_p:
+            self.duplicated += 1
+            return "duplicate"
+        if r < total:
+            self.corrupted += 1
+            return "corrupt"
+        return None
 
 
 class Fabric:
@@ -49,6 +89,13 @@ class Fabric:
         self._entity_host: dict[str, str] = {}
         self._entity_stack: dict[str, StackProfile] = {}
         self._inbox: dict[str, Store] = {}
+        #: Crashed entities: deliveries to them bounce with a transport
+        #: error (the peer kernel's RST) instead of queueing forever.
+        self._dead: set[str] = set()
+        #: Optional chaos injection applied to cross-host messages.
+        self.faults: Optional[MessageFaults] = None
+        #: Messages lost because a link on the path was down.
+        self.link_drops = 0
 
     def register(self, entity: str, host: str, stack: StackProfile = KERNEL_TCP) -> None:
         """Bind an entity name to a network host and a TCP stack profile."""
@@ -71,23 +118,82 @@ class Fabric:
             raise NetworkError(f"unknown entity {entity!r}")
         return self._entity_host[entity]
 
+    def mark_dead(self, entity: str) -> None:
+        """Record an entity crash: future deliveries to it bounce."""
+        self.host_of(entity)  # validate
+        self._dead.add(entity)
+
+    def mark_alive(self, entity: str) -> None:
+        """Clear the crash mark (entity restart)."""
+        self._dead.discard(entity)
+
+    def is_dead(self, entity: str) -> bool:
+        """True if the entity has crashed and not restarted."""
+        return entity in self._dead
+
+    def drain_inbox(self, entity: str) -> list:
+        """Remove and return every queued envelope (crash handling)."""
+        store = self._inbox[entity]
+        items = list(store.items)
+        store.items.clear()
+        return items
+
     def send(self, src: str, dst: str, nbytes: int, payload: Any) -> Generator:
         """Process: deliver ``payload`` from ``src`` to ``dst``.
 
         Completes when the receiver's stack has processed the message and
-        it sits in the destination inbox.
+        it sits in the destination inbox.  Chaos faults (installed via
+        :attr:`faults`) and down links may instead lose, duplicate, or
+        damage the message after the sender's stack cost is paid; a dead
+        destination bounces requests with a transport-error reply.
         """
         src_host = self.host_of(src)
         dst_host = self.host_of(dst)
         if src_host == dst_host:
             yield self.env.timeout(LOOPBACK_NS + transfer_ns(nbytes, LOOPBACK_BW))
-        else:
-            yield self.env.timeout(self._entity_stack[src].tx_ns(nbytes))
-            msg = Message(src_host, dst_host, nbytes, payload=(src, dst))
-            yield self.env.process(self.network.send(msg))
-            yield self.network.host(dst_host).inbox.get(lambda m: m.msg_id == msg.msg_id)
-            yield self.env.timeout(self._entity_stack[dst].rx_ns(nbytes))
-        yield self._inbox[dst].put(Envelope(src, payload, nbytes))
+            yield from self._deliver(src, dst, nbytes, payload, corrupted=False)
+            return
+        action = self.faults.classify() if self.faults is not None else None
+        yield self.env.timeout(self._entity_stack[src].tx_ns(nbytes))
+        if not self.network.path_up(src_host, dst_host):
+            self.link_drops += 1
+            return  # lost on a down link; sender's stack cost already paid
+        if action == "drop":
+            return
+        if action == "duplicate":
+            # A second copy chases the first down the same path.
+            self.env.process(
+                self._wire(src, dst, nbytes, payload, corrupted=False),
+                name=f"{src}->{dst}:dup",
+            )
+        yield from self._wire(src, dst, nbytes, payload, corrupted=action == "corrupt")
+
+    def _wire(self, src: str, dst: str, nbytes: int, payload: Any, corrupted: bool) -> Generator:
+        """Wire transfer + receiver stack + inbox delivery (cross-host)."""
+        src_host = self.host_of(src)
+        dst_host = self.host_of(dst)
+        msg = Message(src_host, dst_host, nbytes, payload=(src, dst))
+        yield self.env.process(self.network.send(msg))
+        yield self.network.host(dst_host).inbox.get(lambda m: m.msg_id == msg.msg_id)
+        yield self.env.timeout(self._entity_stack[dst].rx_ns(nbytes))
+        yield from self._deliver(src, dst, nbytes, payload, corrupted)
+
+    def _deliver(self, src: str, dst: str, nbytes: int, payload: Any, corrupted: bool) -> Generator:
+        if dst in self._dead:
+            self._bounce(dst, src, payload)
+            return
+        yield self._inbox[dst].put(Envelope(src, payload, nbytes, corrupted))
+
+    def _bounce(self, dead: str, src: str, payload: Any) -> None:
+        """Answer a request to a crashed entity with the kernel's RST."""
+        if isinstance(payload, OsdOp) and src not in self._dead:
+            refusal = OsdReply(
+                payload.op_id,
+                False,
+                error=f"connection refused: {dead} is down",
+                status=BlkStatus.TRANSPORT,
+            )
+            self.send_async(dead, src, refusal.wire_size(), refusal)
 
     def send_async(self, src: str, dst: str, nbytes: int, payload: Any):
         """Fire-and-forget send (returns the delivery process event)."""
@@ -108,39 +214,120 @@ class Messenger:
         self.fabric = fabric
         self.entity = entity
         self._pending: dict[int, Event] = {}
+        #: In-flight request-handler processes, insertion-ordered so a
+        #: crash kills them deterministically: proc -> (op_id, src).
+        self._handlers: dict = {}
         self._loop_proc = None
 
     def start(self) -> None:
-        """Spawn the demux loop (idempotent)."""
+        """Spawn the demux loop (idempotent); clears any crash mark."""
+        self.fabric.mark_alive(self.entity)
         if self._loop_proc is None:
             self._loop_proc = self.env.process(self._demux(), name=f"msgr:{self.entity}")
 
     def stop(self) -> None:
-        """Kill the demux loop (simulates entity crash)."""
+        """Crash the entity mid-op.
+
+        Kills the demux loop and every in-flight request handler, fails
+        this entity's own outstanding calls with a transport error, and
+        bounces queued/in-flight requesters with connection resets —
+        nobody is left waiting on an event that will never fire.
+        """
         if self._loop_proc is not None and self._loop_proc.is_alive:
             self._loop_proc.interrupt("stopped")
         self._loop_proc = None
+        self.fabric.mark_dead(self.entity)
+        # Kill in-flight handlers; their requesters see a reset.
+        for proc, (op_id, src) in list(self._handlers.items()):
+            if proc.is_alive:
+                proc.interrupt("crashed")
+            self._reset_reply(op_id, src)
+        self._handlers.clear()
+        # Fail our own outstanding calls (no reply is ever coming).
+        for op_id, ev in list(self._pending.items()):
+            if not ev.triggered:
+                ev.succeed(
+                    OsdReply(
+                        op_id,
+                        False,
+                        error=f"{self.entity} stopped with op {op_id} outstanding",
+                        status=BlkStatus.TRANSPORT,
+                    )
+                )
+        self._pending.clear()
+        # Bounce requests already accepted into the inbox but unread.
+        for envelope in self.fabric.drain_inbox(self.entity):
+            if isinstance(envelope.payload, OsdOp):
+                self._reset_reply(envelope.payload.op_id, envelope.src)
+
+    def _reset_reply(self, op_id: int, src: str) -> None:
+        """Send the reset a peer's kernel would emit for a dead process."""
+        if self.fabric.is_dead(src):
+            return
+        reply = OsdReply(
+            op_id,
+            False,
+            error=f"connection reset: {self.entity} crashed",
+            status=BlkStatus.TRANSPORT,
+        )
+        self.fabric.send_async(self.entity, src, reply.wire_size(), reply)
 
     def _demux(self) -> Generator:
         while True:
             envelope = yield self.fabric.recv(self.entity)
             payload = envelope.payload
             if isinstance(payload, OsdReply):
+                if envelope.corrupted:
+                    # Damaged reply: surface a checksum failure, never
+                    # the (garbage) payload.
+                    payload = OsdReply(
+                        payload.op_id,
+                        False,
+                        error="reply payload failed checksum",
+                        status=BlkStatus.MEDIUM,
+                        epoch=payload.epoch,
+                    )
                 pending = self._pending.pop(payload.op_id, None)
                 if pending is not None:
                     pending.succeed(payload)
-            else:
+            elif envelope.corrupted and isinstance(payload, OsdOp):
+                # Damaged request: refuse instead of executing garbage.
                 self.env.process(
+                    self.reply_to(
+                        envelope.src,
+                        OsdReply(
+                            payload.op_id,
+                            False,
+                            error="request payload failed checksum",
+                            status=BlkStatus.MEDIUM,
+                        ),
+                    ),
+                    name=f"{self.entity}:crc{payload.op_id}",
+                )
+            else:
+                proc = self.env.process(
                     self.on_request(payload, envelope.src),
                     name=f"{self.entity}:op{getattr(payload, 'op_id', '?')}",
                 )
+                if isinstance(payload, OsdOp):
+                    self._handlers[proc] = (payload.op_id, envelope.src)
+                    proc.callbacks.append(self._reap_handler)
+
+    def _reap_handler(self, proc) -> None:
+        self._handlers.pop(proc, None)
+        # Preserve pre-tracking semantics: a handler that dies with a
+        # real error (not a crash interrupt) still crashes the sim.
+        if not proc.ok and not isinstance(proc.value, ProcessKilled):
+            raise proc.value
 
     def call(self, dst: str, op: OsdOp, timeout_ns: Optional[int] = None) -> Generator:
         """Process: send ``op`` and wait for its reply (returned).
 
         With ``timeout_ns``, a reply that does not arrive in time yields
-        a synthetic failed :class:`OsdReply` with error "timeout" — the
-        caller decides whether to retry against a newer map.
+        a synthetic failed :class:`OsdReply` with a TIMEOUT status — the
+        caller decides whether to retry against a newer map.  The pending
+        entry is dropped on timeout, so a late reply is discarded rather
+        than misdelivered to a future waiter.
         """
         ev = self.env.event()
         self._pending[op.op_id] = ev
@@ -153,7 +340,12 @@ class Messenger:
         if ev in results:
             return results[ev]
         self._pending.pop(op.op_id, None)
-        return OsdReply(op.op_id, False, error=f"timeout after {timeout_ns} ns")
+        return OsdReply(
+            op.op_id,
+            False,
+            error=f"timeout after {timeout_ns} ns",
+            status=BlkStatus.TIMEOUT,
+        )
 
     def reply_to(self, dst: str, reply: OsdReply) -> Generator:
         """Process: send a reply back to the requester."""

@@ -1,18 +1,26 @@
-"""Gray-failure injection: slow devices, degraded links, flaky OSDs.
+"""Fault injection: gray failures, chaos faults, and scheduled timelines.
 
 Enterprise clusters (the paper's deployment context) suffer *gray*
 failures — components that respond, just slowly — which inflate tail
 latency long before the monitor declares anything down.  This module
 injects such faults into a live cluster so their p99 impact, and the
 effectiveness of marking the culprit out, can be measured.
+
+Beyond gray slowdowns the injector also drives **chaos** faults: random
+message drop/duplication/corruption on the fabric, silent OSD crashes
+mid-op, link flaps, and whole fault *timelines* scheduled at simulation
+timestamps.  All randomness draws from named sim RNG substreams, so a
+chaos run replays bit-identically for a given seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..errors import StorageError
+from ..sim import Process
+from .fabric import MessageFaults
 from .storage import MediaProfile, StorageDevice
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,11 +45,15 @@ def _scaled_profile(profile: MediaProfile, factor: float) -> MediaProfile:
 
 @dataclass
 class FaultInjector:
-    """Applies and reverts gray faults on a cluster."""
+    """Applies and reverts gray + chaos faults on a cluster."""
 
     cluster: "CephCluster"
     _original_profiles: dict[int, MediaProfile] = field(default_factory=dict)
     _original_bandwidth: dict[str, float] = field(default_factory=dict)
+    _downed_links: set = field(default_factory=set)
+    #: OSDs crashed through this injector (silent crashes).
+    crashed_osds: list = field(default_factory=list)
+    _timeline_procs: list = field(default_factory=list)
 
     def slow_device(self, osd_id: int, factor: float) -> None:
         """Multiply one OSD's media latencies by ``factor`` (>= 1)."""
@@ -82,7 +94,107 @@ class FaultInjector:
         if not restored:
             raise StorageError(f"host {host!r} has no injected link fault")
 
+    # -- chaos: message-level faults ------------------------------------------
+
+    def set_message_faults(
+        self,
+        drop_p: float = 0.0,
+        duplicate_p: float = 0.0,
+        corrupt_p: float = 0.0,
+        rng=None,
+    ) -> MessageFaults:
+        """Install probabilistic drop/duplicate/corrupt on the fabric.
+
+        Applies to every cross-host message from now on.  Probabilities
+        draw from the cluster's ``chaos`` RNG substream unless ``rng``
+        is given, so the fault pattern is seed-deterministic.  Returns
+        the live :class:`MessageFaults` (its counters keep tallies).
+        """
+        for name, p in (("drop_p", drop_p), ("duplicate_p", duplicate_p),
+                        ("corrupt_p", corrupt_p)):
+            if not 0.0 <= p <= 1.0:
+                raise StorageError(f"{name} must be in [0, 1], got {p}")
+        faults = MessageFaults(
+            rng=rng if rng is not None else self.cluster.rng.stream("chaos"),
+            drop_p=drop_p,
+            duplicate_p=duplicate_p,
+            corrupt_p=corrupt_p,
+        )
+        self.cluster.fabric.faults = faults
+        return faults
+
+    def clear_message_faults(self) -> None:
+        """Remove fabric-level message faults."""
+        self.cluster.fabric.faults = None
+
+    # -- chaos: crashes and link flaps ----------------------------------------
+
+    def crash_osd(self, osd_id: int) -> None:
+        """Silently crash an OSD mid-op (see ``CephCluster.crash_osd``)."""
+        self.cluster.crash_osd(osd_id)
+        self.crashed_osds.append(osd_id)
+
+    def set_link(self, host: str, up: bool) -> None:
+        """Force a host's uplink + downlink up or down (messages in
+        flight finish; new sends are dropped while down)."""
+        node = self.cluster.network.host(host)
+        for link in (node.uplink, node.downlink):
+            link.set_up(up)
+            if up:
+                self._downed_links.discard(link.name)
+            else:
+                self._downed_links.add(link.name)
+
+    def flap_link(self, host: str, down_ns: int, up_ns: int, count: int = 1) -> Process:
+        """Flap a host's links: ``count`` cycles of down for ``down_ns``
+        then up for ``up_ns``.  Returns the driving sim process."""
+        if down_ns <= 0 or up_ns <= 0:
+            raise StorageError("flap periods must be > 0")
+        if count < 1:
+            raise StorageError(f"flap count must be >= 1, got {count}")
+
+        def _flap():
+            for _ in range(count):
+                self.set_link(host, False)
+                yield self.cluster.env.timeout(down_ns)
+                self.set_link(host, True)
+                yield self.cluster.env.timeout(up_ns)
+
+        proc = self.cluster.env.process(_flap(), name=f"flap.{host}")
+        self._timeline_procs.append(proc)
+        return proc
+
+    # -- chaos: scheduled timelines -------------------------------------------
+
+    def schedule(self, timeline: Iterable[tuple[int, Callable[[], None]]],
+                 name: str = "chaos.timeline") -> Process:
+        """Run a fault *timeline*: ``(at_ns, action)`` pairs applied at
+        absolute sim times.  Actions are zero-arg callables (typically
+        bound injector methods via ``functools.partial`` / lambdas).
+        Returns the driving sim process.
+        """
+        events = sorted(timeline, key=lambda e: e[0])
+        env = self.cluster.env
+
+        def _drive():
+            for at_ns, action in events:
+                if at_ns < env.now:
+                    raise StorageError(
+                        f"timeline event at {at_ns} is in the past (now={env.now})"
+                    )
+                if at_ns > env.now:
+                    yield env.timeout(at_ns - env.now)
+                action()
+
+        proc = env.process(_drive(), name=name)
+        self._timeline_procs.append(proc)
+        return proc
+
     @property
     def active_faults(self) -> int:
         """Number of faults currently injected."""
-        return len(self._original_profiles) + len(self._original_bandwidth)
+        n = len(self._original_profiles) + len(self._original_bandwidth)
+        n += len(self._downed_links) + len(self.crashed_osds)
+        if self.cluster.fabric.faults is not None:
+            n += 1
+        return n

@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from ..status import BlkStatus
+
 #: Serialized header bytes per op/reply (MOSDOp envelope).
 OP_HEADER_BYTES = 200
 
@@ -61,6 +63,14 @@ class OsdReply:
     data: Optional[bytes] = None
     error: str = ""
     epoch: int = 0
+    #: Kernel-style status carried alongside the error string; failed
+    #: replies default to IOERR unless the sender classified them
+    #: (TIMEOUT, TRANSPORT, MEDIUM).
+    status: BlkStatus = BlkStatus.OK
+
+    def __post_init__(self):
+        if not self.ok and self.status is BlkStatus.OK:
+            self.status = BlkStatus.IOERR
 
     def wire_size(self) -> int:
         """Bytes this reply occupies on the network."""

@@ -13,6 +13,7 @@ paths implement both topologies the paper compares:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
@@ -55,6 +56,27 @@ class OsdConfig:
     rep_fanout_cost_ns: int = us(2)
     ec_encode_ns: Callable[[int, int, int], int] = default_ec_encode_ns
     ec_decode_ns: Callable[[int, int, int], int] = default_ec_decode_ns
+    #: Deadline a primary gives its replica/shard sub-ops; None = wait
+    #: forever (fault-free default — crashed peers still fail fast via
+    #: connection resets, only silent message loss needs this).
+    subop_timeout_ns: Optional[int] = None
+
+
+#: Completed-write replies remembered per OSD for idempotent replay.
+REPLY_CACHE_SIZE = 512
+
+#: Op kinds whose replay must not re-apply (reads are naturally
+#: idempotent and their data may legitimately change between calls).
+_MUTATING_KINDS = frozenset(
+    {
+        OpKind.WRITE,
+        OpKind.WRITE_DIRECT,
+        OpKind.REP_WRITE,
+        OpKind.SHARD_WRITE,
+        OpKind.EC_WRITE,
+        OpKind.DELETE,
+    }
+)
 
 
 def shard_object_name(object_name: str, shard: int) -> str:
@@ -84,9 +106,15 @@ class OsdDaemon(Messenger):
         self.cpu = Resource(env, capacity=self.config.op_threads, name=f"osd.{osd_id}.workers")
         self.ops_served = 0
         self._codecs: dict[int, ReedSolomon] = {}
+        #: op_id -> reply for completed mutations (pglog dup detection):
+        #: a replayed or duplicated write resends the recorded ack
+        #: instead of re-applying.
+        self._reply_cache: OrderedDict[int, OsdReply] = OrderedDict()
+        self.replays_absorbed = 0
         metrics = metrics or NULL_METRICS
         self._m_ops = metrics.counter(f"osd.{osd_id}.ops")
         self._m_op_latency = metrics.latency(f"osd.{osd_id}.op_latency")
+        self._m_replays = metrics.counter("osd.replays_absorbed")
 
     def codec_for(self, pool_id: int) -> ReedSolomon:
         """The RS codec for an EC pool (cached)."""
@@ -112,6 +140,15 @@ class OsdDaemon(Messenger):
     def on_request(self, op: OsdOp, src: str) -> Generator:
         """Dispatch one op under the worker pool."""
         t0 = self.env.now
+        cached = self._reply_cache.get(op.op_id)
+        if cached is not None:
+            # Idempotent replay (client retry or duplicated message):
+            # the mutation already applied — resend the recorded ack.
+            self.replays_absorbed += 1
+            self._m_replays.add()
+            yield self.env.timeout(self.config.op_cost_ns)
+            yield from self.reply_to(src, cached)
+            return
         req = self.cpu.request()
         yield req
         try:
@@ -138,6 +175,10 @@ class OsdDaemon(Messenger):
         finally:
             self.cpu.release(req)
         reply.epoch = self.osdmap.epoch
+        if reply.ok and op.kind in _MUTATING_KINDS:
+            self._reply_cache[op.op_id] = reply
+            while len(self._reply_cache) > REPLY_CACHE_SIZE:
+                self._reply_cache.popitem(last=False)
         self.ops_served += 1
         self._m_ops.add()
         self._m_op_latency.record(self.env.now - t0)
@@ -171,7 +212,12 @@ class OsdDaemon(Messenger):
                 sequential=op.sequential,
                 epoch=op.epoch,
             )
-            sub_ops.append(self.env.process(self.call(f"osd.{peer}", sub), name="rep"))
+            sub_ops.append(
+                self.env.process(
+                    self.call(f"osd.{peer}", sub, timeout_ns=self.config.subop_timeout_ns),
+                    name="rep",
+                )
+            )
         local = self.env.process(
             self._apply_write(op.object_name, op.offset, op.data, op.sequential), name="local"
         )
@@ -221,7 +267,12 @@ class OsdDaemon(Messenger):
                 sequential=op.sequential,
                 epoch=op.epoch,
             )
-            procs.append(self.env.process(self.call(f"osd.{target}", sub), name="shard"))
+            procs.append(
+                self.env.process(
+                    self.call(f"osd.{target}", sub, timeout_ns=self.config.subop_timeout_ns),
+                    name="shard",
+                )
+            )
         if local_shard is not None:
             name = shard_object_name(op.object_name, local_shard)
             procs.append(
@@ -253,8 +304,9 @@ class OsdDaemon(Messenger):
             else:
                 remote_targets.append((rank, target))
         try:
-            shards = yield from gather_shards(
-                self, pool, op.object_name, remote_targets, shard_len, op.epoch, preloaded
+            shards, _degraded = yield from gather_shards(
+                self, pool, op.object_name, remote_targets, shard_len, op.epoch, preloaded,
+                timeout_ns=self.config.subop_timeout_ns,
             )
         except StorageError as exc:
             return OsdReply(op.op_id, False, error=str(exc))

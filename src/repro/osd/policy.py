@@ -1,0 +1,75 @@
+"""Client-side op retry/failover policy.
+
+Every :class:`repro.osd.client.RadosClient` op runs under an
+:class:`OpPolicy`: how long to wait for a reply, how many attempts to
+make, and how to back off between them.  Backoff jitter draws from a
+named sim RNG substream, so retry schedules are bit-reproducible.
+
+The default policy has **no timeout** — a plain reply wait, which keeps
+fault-free runs event-identical to a policy-free client (arming a
+timeout schedules an extra event and changes process interleaving).
+Crashed peers still fail fast through the fabric's connection-reset
+bounces; only *silently lost* messages need a timeout, so chaos runs
+install a policy with one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import StorageError
+from ..units import ms, us
+
+
+@dataclass(frozen=True)
+class OpPolicy:
+    """Timeout/retry/backoff parameters for client ops."""
+
+    #: Reply deadline per attempt; None = wait forever (fault-free runs).
+    timeout_ns: Optional[int] = None
+    #: Total tries per op (1 = no retry).
+    max_attempts: int = 3
+    #: Backoff before the second attempt.
+    backoff_base_ns: int = us(200)
+    #: Growth factor per further attempt (exponential backoff).
+    backoff_multiplier: float = 2.0
+    #: Backoff ceiling.
+    backoff_max_ns: int = ms(5)
+    #: Relative jitter applied to each backoff (+/- this fraction).
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise StorageError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_ns is not None and self.timeout_ns <= 0:
+            raise StorageError(f"timeout_ns must be > 0, got {self.timeout_ns}")
+        if self.backoff_base_ns < 0 or self.backoff_max_ns < 0:
+            raise StorageError("backoff bounds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise StorageError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise StorageError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_ns(self, attempt: int, rng=None) -> int:
+        """Wait before retry number ``attempt`` (1 = before the second try).
+
+        Exponential in ``attempt``, capped at :attr:`backoff_max_ns`,
+        with deterministic +/- :attr:`jitter` drawn from ``rng``.  The
+        cap applies before jitter, so the effective bound is
+        ``backoff_max_ns * (1 + jitter)``.
+        """
+        if attempt < 1:
+            raise StorageError(f"attempt must be >= 1, got {attempt}")
+        delay = self.backoff_base_ns * self.backoff_multiplier ** (attempt - 1)
+        delay = min(delay, float(self.backoff_max_ns))
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(0, int(delay))
+
+
+#: Fault-free default: no timeout (zero extra sim events), modest retry
+#: budget that only engages when a peer actively reports failure.
+DEFAULT_POLICY = OpPolicy()

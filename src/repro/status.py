@@ -1,0 +1,79 @@
+"""Kernel-style block I/O status codes (``blk_status_t``).
+
+Failures travel the stack as a :class:`BlkStatus`, mirroring Linux's
+``BLK_STS_*`` values: an OSD reply carries one, the UIFD driver copies
+it onto the blk-mq request, and the io_uring completion path converts it
+to the matching negative errno in the CQE ``res`` field — exactly the
+chain ``blk_status_to_errno()`` implements in the kernel.
+
+The module sits above the layer hierarchy (it imports nothing but the
+errno table) so ``osd``, ``driver``, ``blk``, and ``api`` can all share
+it without cycles.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from . import errnos
+
+
+class BlkStatus(Enum):
+    """Outcome of a block/object I/O (mirrors ``BLK_STS_*``)."""
+
+    OK = "ok"
+    #: Generic I/O failure (``BLK_STS_IOERR``).
+    IOERR = "ioerr"
+    #: The op missed its deadline (``BLK_STS_TIMEOUT``).
+    TIMEOUT = "timeout"
+    #: The transport to the target broke (``BLK_STS_TRANSPORT``).
+    TRANSPORT = "transport"
+    #: Media/checksum failure — corrupt payload (``BLK_STS_MEDIUM``).
+    MEDIUM = "medium"
+
+    @property
+    def errno(self) -> int:
+        """Positive errno this status maps to (0 for OK)."""
+        return _STATUS_ERRNO[self]
+
+    @property
+    def severity(self) -> int:
+        """Rank used when combining statuses (higher = reported first)."""
+        return _SEVERITY[self]
+
+    def combine(self, other: "BlkStatus") -> "BlkStatus":
+        """The more severe of two statuses (for multi-target ops)."""
+        return self if self.severity >= other.severity else other
+
+    def __bool__(self) -> bool:
+        """Truthy when the status is a failure (kernel idiom:
+        ``if (status) goto out;``)."""
+        return self is not BlkStatus.OK
+
+
+#: blk_status_to_errno(): the kernel's status -> errno table.
+_STATUS_ERRNO = {
+    BlkStatus.OK: 0,
+    BlkStatus.IOERR: errnos.EIO,
+    BlkStatus.TIMEOUT: errnos.ETIMEDOUT,
+    BlkStatus.TRANSPORT: errnos.ENOLINK,
+    BlkStatus.MEDIUM: errnos.ENODATA,
+}
+
+#: Severity order: OK < MEDIUM < TIMEOUT < TRANSPORT < IOERR.  IOERR is
+#: the terminal catch-all; retryable conditions rank below it.
+_SEVERITY = {
+    BlkStatus.OK: 0,
+    BlkStatus.MEDIUM: 1,
+    BlkStatus.TIMEOUT: 2,
+    BlkStatus.TRANSPORT: 3,
+    BlkStatus.IOERR: 4,
+}
+
+
+def worst_status(statuses) -> BlkStatus:
+    """Most severe status in an iterable (OK when empty)."""
+    worst = BlkStatus.OK
+    for status in statuses:
+        worst = worst.combine(status)
+    return worst

@@ -312,8 +312,11 @@ def test_heartbeats_require_messenger():
         mon.start_heartbeats(1000, 1000)
 
 
-def test_call_timeout_returns_failed_reply():
+def test_call_to_dead_osd_fails_fast_with_transport_error():
+    """A crashed OSD refuses connections: the caller gets a TRANSPORT
+    reply well before its timeout instead of hanging out the full wait."""
     from repro.osd.ops import OpKind, OsdOp
+    from repro.status import BlkStatus
 
     env, cluster = small_cluster()
     client = cluster.new_client()
@@ -323,11 +326,36 @@ def test_call_timeout_returns_failed_reply():
     def probe(env):
         op = OsdOp(OpKind.PING, 0, "ping")
         reply = yield from client.call(f"osd.{victim}", op, timeout_ns=us(200))
+        return reply, env.now
+
+    p = env.process(probe(env))
+    env.run()
+    reply, replied_at = p.value
+    assert not reply.ok and reply.status is BlkStatus.TRANSPORT
+    assert replied_at < us(200)  # refused, not timed out
+
+
+def test_call_timeout_returns_failed_reply():
+    """A message lost on a down link leaves the caller waiting; the call
+    deadline converts the silence into a failed TIMEOUT reply."""
+    from repro.osd.ops import OpKind, OsdOp
+    from repro.status import BlkStatus
+
+    env, cluster = small_cluster()
+    client = cluster.new_client()
+    target_host = cluster.fabric.host_of("osd.0")
+    cluster.network.host(target_host).downlink.set_up(False)  # drop the op
+
+    def probe(env):
+        op = OsdOp(OpKind.PING, 0, "ping")
+        reply = yield from client.call("osd.0", op, timeout_ns=us(200))
         return reply
 
     p = env.process(probe(env))
     env.run()
     assert not p.value.ok and "timeout" in p.value.error
+    assert p.value.status is BlkStatus.TIMEOUT
+    assert cluster.fabric.link_drops == 1
 
 
 def test_write_recovers_from_midflight_osd_death():
