@@ -68,9 +68,30 @@ class Ring:
             return None
         return self._slots[self.head & self.mask]
 
+    def push_many(self, items: list[Any]) -> None:
+        """Producer: append a batch in order (all-or-nothing on space)."""
+        if len(items) > self.space:
+            raise RingFullError(
+                f"ring has {self.space} free slots, cannot push {len(items)}"
+            )
+        tail = self.tail
+        mask = self.mask
+        slots = self._slots
+        for item in items:
+            slots[tail & mask] = item
+            tail = (tail + 1) & _U32
+        self.tail = tail
+
     def pop_many(self, max_items: int) -> list[Any]:
-        """Consume up to ``max_items`` entries."""
-        out = []
-        while not self.is_empty and len(out) < max_items:
-            out.append(self.pop())
+        """Consume up to ``max_items`` entries (batched index arithmetic)."""
+        count = min(len(self), max_items)
+        if count <= 0:
+            return []
+        head = self.head
+        mask = self.mask
+        slots = self._slots
+        out = [slots[(head + i) & mask] for i in range(count)]
+        for i in range(count):
+            slots[(head + i) & mask] = None
+        self.head = (head + count) & _U32
         return out

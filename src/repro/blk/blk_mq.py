@@ -167,17 +167,34 @@ class BlockLayer:
         self.merges = 0
         self._m_bios = self.metrics.counter("blk.bios_submitted")
         self._m_merges = self.metrics.counter("blk.merges")
-        #: Last request per (core, op) retained briefly for plug merging.
-        self._plug: dict[tuple[int, str], Request] = {}
+        #: Per-core plug lists: core_id -> {op value -> last request}, so
+        #: flush_plug touches only the flushing core's entries.
+        self._plug: dict[int, dict[str, Request]] = {}
         #: Per-layer request ids (deterministic across runs in a process).
         self._req_ids = itertools.count(1)
+        #: core_id -> hctx memo (valid only under per_core_mapping).
+        self._hctx_cache: dict[int, HardwareContext] = {}
+        #: Submit cost is uniform: every hctx runs the same scheduler type.
+        self._submit_cost_ns = (
+            self.config.submit_cost_ns + self.hctxs[0].scheduler.insert_cost_ns
+        )
 
     def _hctx_for(self, core: CpuCore) -> HardwareContext:
         if self.config.per_core_mapping:
-            return self.hctxs[core.core_id % len(self.hctxs)]
+            hctx = self._hctx_cache.get(core.core_id)
+            if hctx is None:
+                hctx = self.hctxs[core.core_id % len(self.hctxs)]
+                self._hctx_cache[core.core_id] = hctx
+            return hctx
         hctx = self.hctxs[self._rr % len(self.hctxs)]
         self._rr += 1
         return hctx
+
+    def _plug_for(self, core_id: int) -> dict[str, Request]:
+        plugged = self._plug.get(core_id)
+        if plugged is None:
+            plugged = self._plug[core_id] = {}
+        return plugged
 
     def submit_bio(self, core: CpuCore, bio: Bio) -> Generator:
         """Process: push one bio through submit; returns the request.
@@ -193,16 +210,34 @@ class BlockLayer:
         """
         self.bios_submitted += 1
         self._m_bios.add()
+        config = self.config
+        if config.per_core_mapping and config.merge_enabled:
+            # Merged-bio fast path: with per-core mapping the hctx is a
+            # pure function of the core (no shared round-robin cursor to
+            # advance), so a plug hit needs no hctx lookup at all.
+            yield from core.run(self._submit_cost_ns)
+            plugged = self._plug_for(core.core_id)
+            last = plugged.get(bio.op.value)
+            if last is not None and last.dispatched_at < 0 and last.can_merge(bio):
+                last.merge(bio)
+                self.merges += 1
+                self._m_merges.add()
+                return last
+            if last is not None:
+                self._hctx_for(core).insert(last)  # evict the plugged request
+            request = self._new_request(bio)
+            self._record_rings(bio, request)
+            plugged[bio.op.value] = request
+            return request
         hctx = self._hctx_for(core)
-        cost = self.config.submit_cost_ns + hctx.scheduler.insert_cost_ns
-        yield from core.run(cost)
-        if not self.config.merge_enabled:
+        yield from core.run(config.submit_cost_ns + hctx.scheduler.insert_cost_ns)
+        if not config.merge_enabled:
             request = self._new_request(bio)
             self._record_rings(bio, request)
             hctx.insert(request)
             return request
-        key = (core.core_id, bio.op.value)
-        last = self._plug.get(key)
+        plugged = self._plug_for(core.core_id)
+        last = plugged.get(bio.op.value)
         if last is not None and last.dispatched_at < 0 and last.can_merge(bio):
             last.merge(bio)
             self.merges += 1
@@ -212,7 +247,7 @@ class BlockLayer:
             hctx.insert(last)  # evict the previous plugged request
         request = self._new_request(bio)
         self._record_rings(bio, request)
-        self._plug[key] = request
+        plugged[bio.op.value] = request
         return request
 
     def _new_request(self, bio: Bio) -> Request:
@@ -237,8 +272,13 @@ class BlockLayer:
         Engines call this where a real task would block (io_schedule) or
         finish a submission batch.
         """
-        for key in [k for k in self._plug if k[0] == core.core_id]:
-            request = self._plug.pop(key)
+        plugged = self._plug.get(core.core_id)
+        if not plugged:
+            return
+        for op in list(plugged):
+            request = plugged.pop(op)
+            # One _hctx_for call per flushed request, matching the submit
+            # path (in round-robin mode the call advances the cursor).
             self._hctx_for(core).insert(request)
 
     def total_dispatched(self) -> int:

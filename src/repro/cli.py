@@ -76,6 +76,10 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--nrequests", type=int, default=300)
 
+    gold = sub.add_parser("golden", help="check canonical runs against recorded digests")
+    gold.add_argument("--update", action="store_true",
+                      help="re-record the digests instead of checking them")
+
     replay = sub.add_parser("replay", help="replay an I/O trace file")
     replay.add_argument("trace_file")
     replay.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
@@ -149,6 +153,19 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_golden(args) -> int:
+    from .bench import golden
+
+    if args.update:
+        for name, digest in golden.record().items():
+            print(f"{name}: recorded {digest}")
+        return 0
+    ok, lines = golden.check()
+    for line in lines:
+        print(line)
+    return 0 if ok else 1
+
+
 def _cmd_sweep(args) -> int:
     from .bench import export_csv
     from .bench.sweep import SweepSpec, run_sweep
@@ -215,6 +232,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args.name)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "golden":
+        return _cmd_golden(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "replay":

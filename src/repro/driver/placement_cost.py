@@ -46,7 +46,12 @@ def charge_sw_placement(
     for idx in objects_spanned(image, request):
         client.compute_placement(image.pool, image.object_name(idx))
         if cached:
-            cost = miss_ns if client.placement.last_was_miss else hit_ns
+            # last_was_miss is the client-level signal: True only when
+            # CRUSH actually ran (a hit in the client's epoch-keyed
+            # object cache implies the PG mapping was already computed
+            # this epoch, so the charged cost is identical to consulting
+            # the engine's PG cache directly).
+            cost = miss_ns if client.last_was_miss else hit_ns
         else:
             cost = miss_ns
         yield from core.run(cost)

@@ -104,6 +104,11 @@ def gf_mul_add_array(acc: np.ndarray, scalar: int, data: np.ndarray) -> None:
     np.bitwise_xor(acc, gf_mul_array(scalar, data), out=acc)
 
 
+#: Above this (m * k * blocksize) byte budget the broadcasted kernel's
+#: intermediate would thrash caches; fall back to the row-axpy loop.
+_MATMUL_BROADCAST_LIMIT = 1 << 26  # 64 MiB
+
+
 def gf_matmul(mat: np.ndarray, data: np.ndarray) -> np.ndarray:
     """Matrix-vector product over GF(2^8) on byte blocks.
 
@@ -111,6 +116,12 @@ def gf_matmul(mat: np.ndarray, data: np.ndarray) -> np.ndarray:
     bytes.  Returns (m, blocksize).  Each output row is the axpy-sum of
     the input rows — the exact dataflow of the paper's Reed-Solomon
     encoder pipeline.
+
+    The product is computed as one broadcasted table-gather + XOR
+    reduction (a single NumPy dispatch for the whole matrix) instead of
+    m*k Python-level axpy calls; field arithmetic is exact either way,
+    so the two paths are byte-identical.  Inputs too large for the
+    (m, k, blocksize) intermediate take the axpy loop.
     """
     mat = np.asarray(mat, dtype=np.uint8)
     data = np.asarray(data, dtype=np.uint8)
@@ -119,9 +130,20 @@ def gf_matmul(mat: np.ndarray, data: np.ndarray) -> np.ndarray:
     m, k = mat.shape
     if data.shape[0] != k:
         raise ErasureCodingError(f"shape mismatch: mat {mat.shape} vs data {data.shape}")
-    out = np.zeros((m, data.shape[1]), dtype=np.uint8)
-    for i in range(m):
-        acc = out[i]
-        for j in range(k):
-            gf_mul_add_array(acc, int(mat[i, j]), data[j])
-    return out
+    blocksize = data.shape[1]
+    if m == 0 or k == 0 or blocksize == 0:
+        return np.zeros((m, blocksize), dtype=np.uint8)
+    if m * k * blocksize > _MATMUL_BROADCAST_LIMIT:
+        out = np.zeros((m, blocksize), dtype=np.uint8)
+        for i in range(m):
+            acc = out[i]
+            for j in range(k):
+                gf_mul_add_array(acc, int(mat[i, j]), data[j])
+        return out
+    # exp(log a + log b) with zeros masked out: _LOG[0] is 0 (a lie), so
+    # any product with a zero coefficient or zero data byte is forced to
+    # zero explicitly before the XOR reduction.
+    prod = _EXP[_LOG[mat][:, :, None] + _LOG[data][None, :, :]]
+    nonzero = (mat != 0)[:, :, None] & (data != 0)[None, :, :]
+    prod &= np.where(nonzero, np.uint8(0xFF), np.uint8(0))
+    return np.bitwise_xor.reduce(prod, axis=1)

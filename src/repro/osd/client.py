@@ -47,6 +47,11 @@ class RadosClient(Messenger):
         self.osdmap = osdmap
         self.placement = PlacementEngine(osdmap.crush)
         self._placement_epoch = osdmap.epoch
+        #: Epoch-keyed placement cache: (pool_id, object) -> (acting, ops).
+        #: Valid for ``_placement_epoch`` only; cleared on any map bump
+        #: (including the OpPolicy failover refresh), so a stale epoch is
+        #: never served.
+        self._placement_cache: dict[tuple[int, str], tuple[list[int], int]] = {}
         self._codecs: dict[int, ReedSolomon] = {}
         self.policy = policy or DEFAULT_POLICY
         #: RNG substream for backoff jitter (None = no jitter).
@@ -54,6 +59,9 @@ class RadosClient(Messenger):
         self.ops_completed = 0
         #: CRUSH work counter of the last placement (profiling hook).
         self.last_placement_ops = 0
+        #: True when the last compute_placement actually ran CRUSH (the
+        #: cost-model hook: hits pay only a hash + lookup).
+        self.last_was_miss = False
         # Fault-path accounting (mirrored into the metrics registry).
         self.retries = 0
         self.timeouts = 0
@@ -64,6 +72,8 @@ class RadosClient(Messenger):
         self._m_timeouts = metrics.counter("client.timeouts")
         self._m_failovers = metrics.counter("client.failovers")
         self._m_degraded = metrics.counter("client.degraded_reads")
+        self._m_place_hits = metrics.counter("client.placement_cache.hits")
+        self._m_place_misses = metrics.counter("client.placement_cache.misses")
 
     def _codec(self, pool: Pool) -> ReedSolomon:
         if pool.pool_id not in self._codecs:
@@ -71,14 +81,40 @@ class RadosClient(Messenger):
         return self._codecs[pool.pool_id]
 
     def compute_placement(self, pool: Pool, object_name: str) -> list[int]:
-        """Object -> acting set via CRUSH (cache invalidated on epoch bump)."""
-        if self._placement_epoch != self.osdmap.epoch:
+        """Object -> acting set via CRUSH, memoized per map epoch.
+
+        The per-client cache short-circuits the whole object->pg->OSD
+        path (name hash + stable-mod + rule execution) for repeat
+        touches of an object within one OSDMap epoch.  Any epoch bump —
+        device out/in, reweight, or the OpPolicy failover refresh —
+        clears it, so a cached acting set is never served across map
+        changes.  Returned lists are shared with the cache: callers must
+        treat them as read-only (they already did; the underlying
+        :class:`PlacementEngine` cache had the same contract).
+        """
+        epoch = self.osdmap.epoch
+        if self._placement_epoch != epoch:
             self.placement.invalidate()
-            self._placement_epoch = self.osdmap.epoch
+            self._placement_cache.clear()
+            self._placement_epoch = epoch
+        key = (pool.pool_id, object_name)
+        entry = self._placement_cache.get(key)
+        if entry is not None:
+            acting, ops = entry
+            self.last_placement_ops = ops
+            self.last_was_miss = False
+            self._m_place_hits.add()
+            return acting
         _pg, acting = self.placement.object_to_osds(
             pool.pool_id, object_name, pool.pg_num, pool.rule, pool.size
         )
-        self.last_placement_ops = self.placement.mapper.last_ops
+        ops = self.placement.mapper.last_ops
+        self.last_placement_ops = ops
+        # A client-cache miss may still be a PG-cache hit in the engine;
+        # the cost model charges the full CRUSH cost only on real misses.
+        self.last_was_miss = self.placement.last_was_miss
+        self._placement_cache[key] = (acting, ops)
+        self._m_place_misses.add()
         return acting
 
     # -- retry bookkeeping ---------------------------------------------------------
@@ -265,6 +301,7 @@ class RadosClient(Messenger):
         data: bytes,
         direct: bool = False,
         sequential: bool = False,
+        shards: Optional[list[bytes]] = None,
     ) -> Generator:
         """Process: EC write of a whole object.
 
@@ -272,11 +309,15 @@ class RadosClient(Messenger):
         itself (codec CPU/FPGA cost is charged by the framework layer).
         Otherwise the primary encodes and fans out.  Shards already
         acked by their current target are not re-sent on retry.
+
+        ``shards`` may carry the object pre-encoded (the RBD layer
+        batch-encodes all objects of a multi-object write in one
+        cross-stripe matmul); when absent the codec runs here.  Either
+        way the bytes are identical.
         """
         if pool.pool_type != PoolType.ERASURE:
             raise StorageError(f"pool {pool.name!r} is not erasure-coded")
         policy = self.policy
-        shards: Optional[list[bytes]] = None
         shard_ops: dict[tuple[int, int], OsdOp] = {}  # (rank, target) -> op
         written: dict[int, int] = {}  # rank -> target that acked
         primary_op: Optional[OsdOp] = None

@@ -7,8 +7,12 @@ tests.
 
 Like BlueStore, every write refreshes a stored whole-object checksum, so
 scrub can tell *which* copy rotted even in 2-replica pools where a
-majority vote ties.  Fault-injection corrupts via :meth:`corrupt`, which
-bypasses the checksum update (that is what silent media corruption is).
+majority vote ties.  The checksum is maintained lazily: a write marks
+the object dirty and the digest is computed on first read of the
+checksum (scrub/verify) — the write hot path never hashes.  A
+legitimate-write digest is flushed before :meth:`corrupt` mutates bytes,
+so silent corruption is still detectable: the stored checksum always
+reflects the last legitimate write.
 """
 
 from __future__ import annotations
@@ -28,6 +32,9 @@ class ObjectStore:
     def __init__(self, capacity_bytes: int | None = None):
         self._objects: dict[str, bytearray] = {}
         self._checksums: dict[str, str] = {}
+        #: Objects whose checksum is stale (recomputed on demand).
+        self._dirty: set[str] = set()
+        self._used = 0
         self.capacity_bytes = capacity_bytes
 
     def __contains__(self, name: str) -> bool:
@@ -39,7 +46,7 @@ class ObjectStore:
     @property
     def used_bytes(self) -> int:
         """Total bytes across all objects (allocated extents)."""
-        return sum(len(buf) for buf in self._objects.values())
+        return self._used
 
     def object_names(self) -> list[str]:
         """Sorted object names (for scrub/recovery iteration)."""
@@ -54,18 +61,23 @@ class ObjectStore:
         """Write ``data`` at ``offset``, growing the object as needed."""
         if offset < 0:
             raise StorageError(f"negative write offset {offset}")
+        buf = self._objects.get(name)
+        old_len = len(buf) if buf is not None else 0
+        end = offset + len(data)
         if self.capacity_bytes is not None:
-            projected = self.used_bytes + max(0, offset + len(data) - self.object_size(name))
+            projected = self._used + max(0, end - old_len)
             if projected > self.capacity_bytes:
                 raise StorageError(
                     f"device full: {projected} > capacity {self.capacity_bytes}"
                 )
-        buf = self._objects.setdefault(name, bytearray())
-        end = offset + len(data)
-        if len(buf) < end:
-            buf.extend(b"\x00" * (end - len(buf)))
+        if buf is None:
+            buf = bytearray()
+            self._objects[name] = buf
+        if old_len < end:
+            buf.extend(b"\x00" * (end - old_len))
+            self._used += end - old_len
         buf[offset:end] = data
-        self._checksums[name] = _digest(bytes(buf))
+        self._dirty.add(name)
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at ``offset``; holes and EOF read as zeros."""
@@ -81,12 +93,21 @@ class ObjectStore:
 
     def delete(self, name: str) -> None:
         """Remove an object."""
-        if name not in self._objects:
+        buf = self._objects.get(name)
+        if buf is None:
             raise StorageError(f"no such object {name!r}")
+        self._used -= len(buf)
         del self._objects[name]
         self._checksums.pop(name, None)
+        self._dirty.discard(name)
 
     # -- integrity -------------------------------------------------------------
+
+    def _flush_checksum(self, name: str) -> None:
+        """Materialize the pending legitimate-write checksum, if any."""
+        if name in self._dirty:
+            self._checksums[name] = _digest(bytes(self._objects[name]))
+            self._dirty.discard(name)
 
     def corrupt(self, name: str, offset: int, junk: bytes) -> None:
         """Fault injection: alter stored bytes WITHOUT updating the
@@ -94,13 +115,18 @@ class ObjectStore:
         buf = self._objects.get(name)
         if buf is None:
             raise StorageError(f"no such object {name!r}")
+        # The stored checksum must keep describing the last legitimate
+        # write, so settle any lazily deferred digest first.
+        self._flush_checksum(name)
         end = offset + len(junk)
         if len(buf) < end:
+            self._used += end - len(buf)
             buf.extend(b"\x00" * (end - len(buf)))
         buf[offset:end] = junk
 
     def stored_checksum(self, name: str) -> str:
         """The checksum recorded at last legitimate write."""
+        self._flush_checksum(name)
         if name not in self._checksums:
             raise StorageError(f"no checksum for object {name!r}")
         return self._checksums[name]
@@ -110,4 +136,5 @@ class ObjectStore:
         buf = self._objects.get(name)
         if buf is None:
             raise StorageError(f"no such object {name!r}")
+        self._flush_checksum(name)
         return _digest(bytes(buf)) == self._checksums.get(name)

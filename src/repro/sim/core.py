@@ -173,15 +173,18 @@ class Process(Event):
             # Detach from the event we were waiting on.
             if self._target.callbacks is not None and self._resume in self._target.callbacks:
                 self._target.callbacks.remove(self._resume)
+                if not self._target.callbacks:
+                    # We were the only waiter.  If the orphaned event
+                    # later *fails*, the failure is intentionally
+                    # unobserved (its only observer was just killed) —
+                    # sink it so step() doesn't escalate it to a crash.
+                    self._target.callbacks.append(_sink_failure)
             # A queued resource claim must be withdrawn, or the slot is
             # granted to a dead process and leaks forever.
             canceller = getattr(self._target, "_cancel_on_interrupt", None)
             if canceller is not None:
                 canceller()
-        interrupt_ev = Event(self.env)
-        interrupt_ev._ok = False
-        interrupt_ev._value = ProcessKilled(cause)
-        interrupt_ev._triggered = True
+        interrupt_ev = self.env._new_resume_event(False, ProcessKilled(cause))
         interrupt_ev.callbacks.append(self._resume)
         self.env._schedule(interrupt_ev, priority=URGENT)
 
@@ -221,10 +224,7 @@ class Process(Event):
             raise SimulationError(f"process {self.name!r} yielded an event from another Environment")
         if target._processed:
             # Already fired: resume immediately (at current time).
-            resume_ev = Event(env)
-            resume_ev._ok = target._ok
-            resume_ev._value = target._value
-            resume_ev._triggered = True
+            resume_ev = env._new_resume_event(target._ok, target._value)
             resume_ev.callbacks.append(self._resume)
             env._schedule(resume_ev, priority=URGENT)
             self._target = resume_ev
@@ -236,14 +236,59 @@ class Process(Event):
         return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
 
 
+def _sink_failure(_event: "Event") -> None:
+    """No-op callback marking an orphaned event's failure as observed."""
+
+
+class _ResumeEvent(Event):
+    """Internal single-callback event used to resume a process.
+
+    Created only inside the kernel (already-fired-target resumption and
+    interrupts), carries exactly one callback, and is never exposed to
+    user code — which makes it safe to recycle through the environment's
+    event pool right after its callbacks have run.
+    """
+
+    __slots__ = ()
+
+
 class Environment:
     """Owns the event queue and the simulated clock (integer nanoseconds)."""
+
+    __slots__ = ("_now", "_queue", "_seq", "_active", "_resume_pool")
+
+    #: Upper bound on pooled resume events (plenty for any realistic
+    #: same-tick resume burst; beyond it, extras are garbage-collected).
+    _POOL_MAX = 256
 
     def __init__(self, initial_time: int = 0):
         self._now = int(initial_time)
         self._queue: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        #: Free list of recycled :class:`_ResumeEvent` objects.
+        self._resume_pool: list[_ResumeEvent] = []
+
+    def _new_resume_event(self, ok: bool, value: Any) -> _ResumeEvent:
+        """A triggered internal resume event, recycled from the pool.
+
+        Pooling is restricted to :class:`_ResumeEvent` by construction:
+        user-visible events (``Timeout``, ``event()``) may be held and
+        inspected long after they fire, so recycling them could alias
+        two waits; resume events are referenced only by the scheduler
+        queue and a process's ``_target``, both released by the time the
+        event is returned to the pool.
+        """
+        if self._resume_pool:
+            ev = self._resume_pool.pop()
+            ev.callbacks = []
+        else:
+            ev = _ResumeEvent(self)
+        ev._ok = ok
+        ev._value = value
+        ev._triggered = True
+        ev._processed = False
+        return ev
 
     @property
     def now(self) -> int:
@@ -301,6 +346,12 @@ class Environment:
         if callbacks:
             for callback in callbacks:
                 callback(event)
+            if type(event) is _ResumeEvent and len(self._resume_pool) < self._POOL_MAX:
+                # Kernel-internal event, nothing can read it after its
+                # callbacks ran — recycle it (drop the payload first so
+                # the pool doesn't pin arbitrary objects alive).
+                event._value = None
+                self._resume_pool.append(event)
         elif not event._ok and not isinstance(event._value, ProcessKilled):
             # A failed event nobody waited on: surface the error rather than
             # silently dropping it.
@@ -316,10 +367,29 @@ class Environment:
             until = int(until)
             if until < self._now:
                 raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        # Inlined step() with hoisted locals: this loop dispatches every
+        # event of a run, and the attribute/global lookups it avoids are
+        # measurable at fig6 scale.  Semantics are identical to step().
+        queue = self._queue
+        heappop = heapq.heappop
+        pool = self._resume_pool
+        pool_max = self._POOL_MAX
+        while queue:
+            if until is not None and queue[0][0] > until:
                 break
-            self.step()
+            when, _prio, _seq, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+                if type(event) is _ResumeEvent and len(pool) < pool_max:
+                    event._value = None
+                    pool.append(event)
+            elif not event._ok and not isinstance(event._value, ProcessKilled):
+                raise event._value
         if until is not None:
             self._now = max(self._now, until)
 

@@ -1,0 +1,60 @@
+"""Golden-trace determinism harness.
+
+The hot-path optimizations (placement cache, batched uring submit/reap,
+vectorized EC, event pooling) are only admissible if they change *no
+simulated event*.  These tests lock that down two ways:
+
+* recorded goldens — digests of the fig6 experiment table and a chaos
+  crash-replica run, captured on the unoptimized build and committed
+  under ``tests/golden/``; any divergence fails here; and
+* same-process double runs — the same scenario executed twice in one
+  interpreter must produce identical digests (catches leaked state in
+  caches, pools, and module-level counters).
+
+If a digest changes *intentionally* (a modeling change, not an
+optimization), re-record with ``python -m repro golden --update`` and
+say so in the commit message.
+"""
+
+from repro.bench import golden
+from repro.bench.chaos import SCENARIOS, run_chaos_scenario
+
+
+def test_golden_files_exist():
+    for key in golden.CANONICAL_RUNS:
+        assert golden.read_golden(key), f"missing golden for {key!r}"
+
+
+def test_chaos_smoke_digest_matches_golden():
+    assert golden.chaos_smoke_digest() == golden.read_golden("chaos-smoke")
+
+
+def test_fig6_digest_matches_golden():
+    assert golden.fig6_digest() == golden.read_golden("fig6")
+
+
+def test_chaos_double_run_same_process_is_deterministic():
+    """Two runs in one interpreter: pooled events, memoized placements,
+    and per-layer request ids must not leak between runs."""
+    first = golden.chaos_smoke_digest()
+    second = golden.chaos_smoke_digest()
+    assert first == second
+
+
+def test_chaos_digest_depends_on_seed():
+    """Sanity check that the digest actually captures run content (a
+    constant digest would make the goldens vacuous)."""
+    scenario = SCENARIOS[1]
+    base = run_chaos_scenario(
+        scenario, seed=golden.CHAOS_SEED, nrequests=golden.CHAOS_NREQUESTS
+    ).digest
+    other = run_chaos_scenario(
+        scenario, seed=golden.CHAOS_SEED + 1, nrequests=golden.CHAOS_NREQUESTS
+    ).digest
+    assert base != other
+
+
+def test_check_reports_all_canonical_runs():
+    ok, lines = golden.check()
+    assert ok, "\n".join(lines)
+    assert len(lines) == len(golden.CANONICAL_RUNS)
