@@ -62,7 +62,16 @@ class SyncEngine(AioEngine):
         # The thread sleeps; completion raises an interrupt and wakes it.
         yield from self.kernel.context_switch(core)
         yield request.completion
+        t0 = self.env.now
         yield from self.kernel.interrupt(core)
         yield from self.kernel.context_switch(core)
         if self.buffered and bio.op == IoOp.READ:
             yield from self.kernel.copy(core, bio.size)
+        tracer = self.blk.tracer
+        if tracer is not None:
+            # Completion delivery: IRQ + wakeup (+ read copy-out).
+            tracer.record(request.req_id, "complete", t0, self.env.now)
+            root = getattr(request, "_obs_span", None)
+            if root is not None:
+                root.record("complete", "stage", t0, self.env.now)
+                root.finish(ok=not (request.status or request.error))

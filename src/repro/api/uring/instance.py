@@ -84,8 +84,10 @@ class IoUring:
         self.sq = Ring(entries)
         self.cq = Ring(2 * entries)
         self._inflight: dict[int, Sqe] = {}
-        #: user_data -> (req_id, completion fire time) for the tracer.
-        self._complete_t0: dict[int, tuple[int, int]] = {}
+        #: user_data -> (req_id, completion fire time, causal root or
+        #: None) for the tracer: the reaper closes the flat ``complete``
+        #: span and the causal root from these.
+        self._complete_t0: dict[int, tuple[int, int, object]] = {}
         self._cq_waiter: Optional[Event] = None
         self._sq_kick: Optional[Event] = None
         self._sqpoll_proc = None
@@ -122,8 +124,13 @@ class IoUring:
             flags=flags,
             bio=bio,
         )
-        if self.blk.tracer is not None:
+        tracer = self.blk.tracer
+        if tracer is not None:
             bio._trace_t0 = self.env.now
+            if tracer.causal:
+                # The causal tree is rooted where the application hands
+                # the op to the kernel interface: SQE preparation.
+                bio._obs_root = tracer.start_root(bio.op.value, size=bio.size)
         self.sq.push(sqe)
         return sqe
 
@@ -134,7 +141,9 @@ class IoUring:
         user_data order) with the per-call overhead hoisted out of the
         loop; all-or-nothing on SQ space.
         """
-        trace = self.blk.tracer is not None
+        tracer = self.blk.tracer
+        trace = tracer is not None
+        causal = trace and tracer.causal
         now = self.env.now
         fixed = self.fixed_buffers
         sqes = []
@@ -145,6 +154,8 @@ class IoUring:
                 opcode = UringOp.WRITE_FIXED if fixed else UringOp.WRITE
             if trace:
                 bio._trace_t0 = now
+                if causal:
+                    bio._obs_root = tracer.start_root(bio.op.value, size=bio.size)
             sqes.append(
                 Sqe(
                     opcode=opcode,
@@ -251,7 +262,11 @@ class IoUring:
 
     def _post_cqe(self, sqe: Sqe, request) -> Generator:
         if self.blk.tracer is not None:
-            self._complete_t0[sqe.user_data] = (request.req_id, self.env.now)
+            self._complete_t0[sqe.user_data] = (
+                request.req_id,
+                self.env.now,
+                getattr(sqe.bio, "_obs_root", None),
+            )
         yield from self.core.run(self.costs.post_cqe_ns)
         if not sqe.is_fixed_buffer and sqe.bio.op == IoOp.READ:
             yield from self.kernel.copy(self.core, sqe.length)

@@ -1,23 +1,26 @@
 """Stage-breakdown experiment: where does an I/O spend its time?
 
-Runs the full DeLiBA-K stack with the lifecycle tracer *and* the metrics
-registry enabled and reports, per fio mode, the mean time in each of the
-six stages of the paper's Figure 2 plus the per-layer instruments that
-explain them (ring batch sizes, block-layer queue depth, OSD service
-latency).  The paper names this profiling as future work; here it is a
-first-class experiment.
+Runs the full DeLiBA-K stack with the causal tracer *and* the metrics
+registry enabled and reports, per fio mode, the critical-path time
+attributed to each datapath stage plus the per-layer instruments that
+explain it (ring batch sizes, block-layer queue depth, OSD service
+latency).  Unlike the flat stage summary it replaced, the attribution
+is exact: per-stage nanoseconds partition each request's measured
+end-to-end latency, so the share column always sums to 100%.
 """
 
 from __future__ import annotations
 
 from ..deliba import FRAMEWORKS, build_framework
-from ..trace import STAGES
+from ..obs.critical_path import aggregate_attribution, analyze, verify_exact
 from ..units import kib
 from ..workloads import FioJob
 from .experiments import ExperimentResult
 
 #: fio modes profiled (one column pair per mode).
 BREAKDOWN_MODES = ("randread", "randwrite")
+#: Stage render order (critical-path stage names; "api" is root self-time).
+_STAGE_ORDER = ("api", "rings", "dmq", "uifd", "qdma", "accel", "fabric", "complete")
 #: Registry names surfaced in the notes, with a human label each.
 _NOTE_METRICS = (
     ("uring.sqe_batch_size", "mean SQEs per io_uring_enter"),
@@ -29,14 +32,33 @@ _NOTE_METRICS = (
 
 
 def _profile(rw: str, bs: int, nreq: int, seed: int):
-    """One traced + metered run of the delibak stack; returns (fw, result)."""
-    fw = build_framework(FRAMEWORKS["delibak"], seed=seed, trace=True, metrics=True)
+    """One causally traced + metered run of the delibak stack."""
+    fw = build_framework(FRAMEWORKS["delibak"], seed=seed, obs=True, metrics=True)
     job = FioJob(name=f"breakdown-{rw}", rw=rw, bs=bs, iodepth=1, nrequests=nreq)
     proc = fw.env.process(fw.run_fio(job), name=f"breakdown:{rw}")
     fw.env.run()
     if not proc.ok:
         raise proc.value
     return fw, proc.value
+
+
+def _attribution(fw) -> tuple[dict[str, int], int]:
+    """Exact per-stage critical-path ns and the request count."""
+    roots = fw.tracer.complete_trees()
+    paths = []
+    for root in roots:
+        path = analyze(root)
+        problem = verify_exact(path)
+        if problem is not None:
+            raise RuntimeError(f"inexact attribution for span {root.span_id}: {problem}")
+        paths.append(path)
+    by_stage, _kinds, _folded = aggregate_attribution(paths)
+    merged: dict[str, int] = {}
+    for stage, ns in by_stage.items():
+        # Root self-time segments carry the op name; report them as "api".
+        key = "api" if stage in ("read", "write") else stage
+        merged[key] = merged.get(key, 0) + ns
+    return merged, len(roots)
 
 
 def _metric_note(fw) -> list[str]:
@@ -62,25 +84,36 @@ def _metric_note(fw) -> list[str]:
 
 
 def exp_breakdown(bs: int = kib(4), nreq: int = 60, seed: int = 0) -> ExperimentResult:
-    """Six-stage latency breakdown of the DeLiBA-K stack (tracer + metrics)."""
+    """Critical-path latency breakdown of the DeLiBA-K stack."""
     res = ExperimentResult(
         "breakdown",
-        f"DeLiBA-K six-stage I/O breakdown, bs={bs}",
+        f"DeLiBA-K critical-path I/O breakdown, bs={bs} (exact attribution)",
         ["stage"] + [f"{rw} us" for rw in BREAKDOWN_MODES] + [f"{rw} share" for rw in BREAKDOWN_MODES],
     )
-    summaries = {}
+    stages = {}
+    counts = {}
     notes = []
     for rw in BREAKDOWN_MODES:
         fw, _ = _profile(rw, bs, nreq, seed)
-        summaries[rw] = fw.tracer.summary()
-        notes.append(f"[{rw}] " + "; ".join(_metric_note(fw)))
-    totals = {rw: sum(summaries[rw].values()) or 1.0 for rw in BREAKDOWN_MODES}
-    for stage in STAGES:
-        if not any(stage in summaries[rw] for rw in BREAKDOWN_MODES):
-            continue
+        stages[rw], counts[rw] = _attribution(fw)
+        incomplete = len(fw.tracer.incomplete_trees())
+        note = f"[{rw}] " + "; ".join(_metric_note(fw))
+        if incomplete:
+            note += f"; {incomplete} request(s) never completed"
+        notes.append(note)
+    totals = {rw: sum(stages[rw].values()) or 1 for rw in BREAKDOWN_MODES}
+    order = {name: i for i, name in enumerate(_STAGE_ORDER)}
+    seen = sorted(
+        {s for rw in BREAKDOWN_MODES for s in stages[rw]},
+        key=lambda s: (order.get(s, len(order)), s),
+    )
+    for stage in seen:
         row = [stage]
-        row += [round(summaries[rw].get(stage, 0.0), 2) for rw in BREAKDOWN_MODES]
-        row += [f"{summaries[rw].get(stage, 0.0) / totals[rw]:.1%}" for rw in BREAKDOWN_MODES]
+        row += [
+            round(stages[rw].get(stage, 0) / max(counts[rw], 1) / 1000.0, 2)
+            for rw in BREAKDOWN_MODES
+        ]
+        row += [f"{stages[rw].get(stage, 0) / totals[rw]:.1%}" for rw in BREAKDOWN_MODES]
         res.rows.append(row)
     res.notes = "\n".join(notes)
     return res

@@ -114,6 +114,11 @@ class HardwareContext:
                 self.depth_series.record(self.env.now, self.config.tags_per_queue - self.tags.tokens)
                 if self.tracer is not None and request.submitted_at >= 0:
                     self.tracer.record(request.req_id, "dmq", request.submitted_at, self.env.now)
+                    span = getattr(request, "_obs_span", None)
+                    if span is not None:
+                        span.record(
+                            "dmq", "queue", request.submitted_at, self.env.now, hctx=self.index
+                        )
                 self.queue_rq(request)
                 self._arm_tag_release(request)
         finally:
@@ -131,8 +136,14 @@ class HardwareContext:
     def _on_complete(self, request: Request) -> None:
         self.tags.release()
         self.depth_series.record(self.env.now, self.config.tags_per_queue - self.tags.tokens)
-        if request.status or request.error:
+        failed = bool(request.status or request.error)
+        if failed:
             self._m_req_errors.add()
+        span = getattr(request, "_obs_span", None)
+        if span is not None:
+            # Close the tree at driver completion; the API engine's
+            # reaper may extend it to CQE delivery afterwards.
+            span.finish(ok=not failed)
         # Freed capacity may unblock queued work.
         self.kick()
 
@@ -222,6 +233,9 @@ class BlockLayer:
                 last.merge(bio)
                 self.merges += 1
                 self._m_merges.add()
+                span = getattr(last, "_obs_span", None)
+                if span is not None:
+                    span.meta["merged_bios"] = span.meta.get("merged_bios", 0) + 1
                 return last
             if last is not None:
                 self._hctx_for(core).insert(last)  # evict the plugged request
@@ -257,6 +271,16 @@ class BlockLayer:
         request = Request([bio], req_id=next(self._req_ids))
         request.submitted_at = self.env.now
         request.completion = self.env.event()
+        tracer = self.tracer
+        if tracer is not None and tracer.causal:
+            # Adopt the root opened at SQE prep; engines that do not
+            # pre-stamp one (sync/libaio paths) get it rooted here.
+            root = getattr(bio, "_obs_root", None)
+            if root is None:
+                root = tracer.start_root(bio.op.value, size=bio.size)
+                bio._obs_root = root
+            root.annotate(req_id=request.req_id)
+            request._obs_span = root
         return request
 
     def _record_rings(self, bio: Bio, request: Request) -> None:
@@ -265,6 +289,9 @@ class BlockLayer:
         t0 = getattr(bio, "_trace_t0", None)
         if self.tracer is not None and t0 is not None:
             self.tracer.record(request.req_id, "rings", t0, request.submitted_at)
+            span = getattr(request, "_obs_span", None)
+            if span is not None:
+                span.record("rings", "stage", t0, request.submitted_at)
 
     def flush_plug(self, core: CpuCore) -> None:
         """Push the core's plugged requests into their hardware queues.

@@ -85,6 +85,28 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
     replay.add_argument("--iodepth", type=int, default=4)
 
+    from .obs.profile import PROFILE_SCENARIOS
+
+    prof = sub.add_parser(
+        "profile", help="causal tracing: critical-path attribution + resource telemetry"
+    )
+    prof.add_argument("scenario", nargs="?", default="randwrite",
+                      choices=sorted(PROFILE_SCENARIOS))
+    prof.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
+    prof.add_argument("--bs", type=int, default=kib(4))
+    prof.add_argument("--iodepth", type=int, default=4)
+    prof.add_argument("--nrequests", type=int, default=60)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--smoke", action="store_true",
+                      help="run the CI scenario grid; exit nonzero if any trace is "
+                           "incomplete, inexact, schema-invalid, or nondeterministic")
+    prof.add_argument("--export", metavar="PATH",
+                      help="write span lanes + counter tracks as Perfetto JSON")
+    prof.add_argument("--flamegraph", metavar="PATH",
+                      help="write critical-path folded stacks (flamegraph.pl input)")
+    prof.add_argument("--export-trees", metavar="PATH",
+                      help="write the raw span forest as nested JSON")
+
     trace = sub.add_parser("trace", help="six-stage I/O lifecycle breakdown")
     trace.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
     trace.add_argument("--rw", default="randwrite",
@@ -200,10 +222,38 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from .obs.profile import profile_smoke, run_profile
+
+    if args.smoke:
+        code, report = profile_smoke(
+            export_path=args.export, flame_path=args.flamegraph, seed=args.seed
+        )
+        print(report)
+        return code
+    report = run_profile(
+        args.scenario,
+        framework=args.framework,
+        bs=args.bs,
+        iodepth=args.iodepth,
+        nrequests=args.nrequests,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.export:
+        print(f"[perfetto trace written to {report.export(args.export)}]")
+    if args.flamegraph:
+        print(f"[folded stacks written to {report.export_flamegraph(args.flamegraph)}]")
+    if args.export_trees:
+        print(f"[span forest written to {report.export_trees(args.export_trees)}]")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     cfg = framework_by_name(args.framework)
-    if not cfg.hardware or cfg.driver != "uifd":
-        print("trace: lifecycle stages are instrumented for the delibak stack", file=sys.stderr)
+    if not cfg.hardware:
+        print("trace: lifecycle stages are instrumented for the hardware stacks",
+              file=sys.stderr)
         return 2
     fw = build_framework(cfg, trace=True)
     job = FioJob("trace", args.rw, bs=args.bs, iodepth=1, nrequests=args.nrequests)
@@ -238,6 +288,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
     return 1  # pragma: no cover

@@ -185,6 +185,7 @@ def build_framework(
     object_size: Optional[int] = None,
     seed: int = 0,
     trace: bool = False,
+    obs: bool = False,
     metrics: Union[bool, MetricsRegistry] = False,
 ) -> FrameworkInstance:
     """Assemble one generation of the stack over a fresh cluster.
@@ -196,6 +197,13 @@ def build_framework(
     no-op registry, so instrumentation costs nothing and results are
     bit-identical either way.  Pass an existing registry to share one
     across frameworks.
+
+    ``obs=True`` upgrades the tracer to a causal
+    :class:`repro.obs.CausalTracer` (implies ``trace``): in addition to
+    the flat stage stream, every request grows a span *tree* with
+    parent/child edges at each layer hand-off, fan-out, and retry leg —
+    the input to ``python -m repro profile``.  Neither tracer changes
+    the simulated event stream.
     """
     pool_spec = pool_spec or PoolSpec()
     env = env or Environment()
@@ -221,7 +229,12 @@ def build_framework(
         object_size = kib(4) if pool_spec.kind == "erasure" else mib(4)
     image = RBDImage("bench", image_size, pool, client, object_size=object_size)
     kernel = HostKernel(env)
-    tracer = Tracer(env) if trace else None
+    if obs:
+        from ..obs.context import CausalTracer
+
+        tracer: Optional[Tracer] = CausalTracer(env)
+    else:
+        tracer = Tracer(env) if trace else None
 
     fpga = qdma = None
     accelerators: dict[str, Accelerator] = {}
@@ -246,6 +259,7 @@ def build_framework(
             crush_accel=accelerators.get("crush"),
             ec_accel=accelerators.get("ec"),
             hardware=config.hardware,
+            tracer=tracer,
         )
     else:
         driver = UifdDriver(

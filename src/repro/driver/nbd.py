@@ -77,6 +77,7 @@ class NbdDriver:
         ec_accel: Optional[Accelerator] = None,
         hardware: bool = True,
         shared_daemon: Optional[Resource] = None,
+        tracer=None,
     ):
         if hardware:
             if qdma is None or crush_accel is None:
@@ -85,6 +86,8 @@ class NbdDriver:
                 raise DriverError("EC pool needs the RS accelerator")
         self.env = env
         self.kernel = kernel
+        #: Optional repro.trace.Tracer for lifecycle spans.
+        self.tracer = tracer
         self.image = image
         self.config = config or NbdConfig()
         self.hardware = hardware
@@ -113,15 +116,26 @@ class NbdDriver:
         self.env.process(self._handle(request), name=f"nbd.rq{request.req_id}")
 
     def _handle(self, request: Request) -> Generator:
+        trace = self.tracer
+        root = getattr(request, "_obs_span", None)
+        t0 = self.env.now
         # Kernel NBD client -> socket -> daemon: context switches plus
         # payload copies (counts differ per generation; paper Section III).
         for _ in range(self.config.crossings):
             yield from self.kernel.context_switch(self.core)
         for _ in range(self.config.copies):
             yield from self.kernel.copy(self.core, request.size)
+        if root is not None:
+            root.record(
+                "nbd", "ipc", t0, self.env.now,
+                crossings=self.config.crossings, copies=self.config.copies,
+            )
         # The single-threaded daemon serializes request handling.
+        tq = self.env.now
         req = self._daemon.request()
         yield req
+        if root is not None:
+            root.record("daemon", "queue", tq, self.env.now)
         try:
             yield from self.core.run(self.config.daemon_cost_ns)
             first = request.bios[0].offset // self.image.object_size
@@ -129,7 +143,13 @@ class NbdDriver:
             objects = last - first + 1
             if self.hardware:
                 if request.op == IoOp.WRITE:
+                    t1 = self.env.now
                     yield from self.qdma.h2c_transfer(self.queue, request.size)
+                    if trace:
+                        trace.record(request.req_id, "qdma", t1, self.env.now)
+                    if root is not None:
+                        root.record("qdma", "dma", t1, self.env.now, dir="h2c")
+                t1 = self.env.now
                 if self.config.passive_offload:
                     # D1: each placement is a host-driven FPGA round trip
                     # (ioctl + driver arg marshalling + DMA + IRQ), the
@@ -145,17 +165,39 @@ class NbdDriver:
                     yield from self.crush_accel.process(objects)
                 if self.image.pool.pool_type == PoolType.ERASURE and request.op == IoOp.WRITE:
                     yield from self.ec_accel.process(max(1, request.size // 32))
+                if trace:
+                    trace.record(request.req_id, "accel", t1, self.env.now)
+                if root is not None:
+                    root.record("accel", "compute", t1, self.env.now, objects=objects)
             else:
                 # No-FPGA baseline: placement (and EC) on the host CPU,
                 # with the profiled cost paid on placement-cache misses.
+                t1 = self.env.now
                 yield from charge_sw_placement(
                     self.core, self.image, request, self.config.sw_placement_ns, cached=False
                 )
                 if self.image.pool.pool_type == PoolType.ERASURE and request.op == IoOp.WRITE:
                     yield from self.core.run(self.config.sw_ec_encode_ns * objects)
-            yield from self._image_io(request)
+                if root is not None:
+                    root.record("placement", "compute", t1, self.env.now, objects=objects)
+            t1 = self.env.now
+            fab = root.child("fabric", "net") if root is not None else None
+            ok = False
+            try:
+                yield from self._image_io(request, ctx=fab)
+                ok = True
+            finally:
+                if fab is not None:
+                    fab.finish(ok=ok)
+                if trace:
+                    trace.record(request.req_id, "fabric", t1, self.env.now)
             if self.hardware and request.op == IoOp.READ:
+                t1 = self.env.now
                 yield from self.qdma.c2h_transfer(self.queue, request.size)
+                if trace:
+                    trace.record(request.req_id, "qdma", t1, self.env.now)
+                if root is not None:
+                    root.record("qdma", "dma", t1, self.env.now, dir="c2h")
         except StorageError as exc:
             request.fail_from_exc(exc)
         finally:
@@ -166,15 +208,15 @@ class NbdDriver:
         self.requests_completed += 1
         request.completion.succeed(request)
 
-    def _image_io(self, request: Request) -> Generator:
+    def _image_io(self, request: Request, ctx=None) -> Generator:
         saved = self.image.direct
         self.image.direct = True  # DeLiBA fan-out runs on the card
         try:
             offset = request.bios[0].offset
             if request.op == IoOp.WRITE:
                 data = request.data() or b"\x00" * request.size
-                yield from self.image.write(offset, data, sequential=request.sequential)
+                yield from self.image.write(offset, data, sequential=request.sequential, ctx=ctx)
             else:
-                yield from self.image.read(offset, request.size)
+                yield from self.image.read(offset, request.size, ctx=ctx)
         finally:
             self.image.direct = saved

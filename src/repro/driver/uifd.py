@@ -113,12 +113,16 @@ class UifdDriver:
 
     def _handle(self, request: Request) -> Generator:
         t0 = self.env.now
+        root = getattr(request, "_obs_span", None)
         yield from self.core.run(self.config.driver_cost_ns)
+        if root is not None:
+            # Driver CPU: descriptor build, doorbell, unmap.
+            root.record("uifd", "driver", t0, self.env.now)
         try:
             if self.hardware:
-                yield from self._handle_hw(request)
+                yield from self._handle_hw(request, root)
             else:
-                yield from self._handle_sw(request)
+                yield from self._handle_sw(request, root)
         except StorageError as exc:
             # Never strand the request: complete it with a BLK_STS_*
             # status so the CQE surfaces a negative errno instead of the
@@ -139,7 +143,7 @@ class UifdDriver:
         last = (request.bios[0].offset + request.size - 1) // self.image.object_size
         return last - first + 1
 
-    def _handle_hw(self, request: Request) -> Generator:
+    def _handle_hw(self, request: Request, ctx=None) -> Generator:
         is_ec = self.image.pool.pool_type == PoolType.ERASURE
         trace = self.tracer
         if request.op == IoOp.WRITE:
@@ -148,6 +152,8 @@ class UifdDriver:
             yield from self.qdma.h2c_transfer(self.queue, request.size)
             if trace:
                 trace.record(request.req_id, "qdma", t0, self.env.now)
+            if ctx is not None:
+                ctx.record("qdma", "dma", t0, self.env.now, dir="h2c")
         # In-datapath CRUSH placement: pipelined, one item per object.
         t0 = self.env.now
         self._m_placements.add(self._objects_touched(request))
@@ -157,22 +163,34 @@ class UifdDriver:
             yield from self.ec_accel.process(max(1, request.size // 32))
         if trace:
             trace.record(request.req_id, "accel", t0, self.env.now)
+        if ctx is not None:
+            ctx.record("accel", "compute", t0, self.env.now, objects=self._objects_touched(request))
         t0 = self.env.now
-        yield from self._image_io(request, direct=True)
-        if trace:
-            trace.record(request.req_id, "fabric", t0, self.env.now)
+        fab = ctx.child("fabric", "net") if ctx is not None else None
+        ok = False
+        try:
+            yield from self._image_io(request, direct=True, ctx=fab)
+            ok = True
+        finally:
+            if fab is not None:
+                fab.finish(ok=ok)
+            if trace:
+                trace.record(request.req_id, "fabric", t0, self.env.now)
         if request.op == IoOp.READ:
             t0 = self.env.now
             yield from self.qdma.c2h_transfer(self.queue, request.size)
             if trace:
                 trace.record(request.req_id, "qdma", t0, self.env.now)
+            if ctx is not None:
+                ctx.record("qdma", "dma", t0, self.env.now, dir="c2h")
         if not self.config.polled_completion:
             yield from self.kernel.interrupt(self.core)
 
     # -- software baseline --------------------------------------------------------------
 
-    def _handle_sw(self, request: Request) -> Generator:
+    def _handle_sw(self, request: Request, ctx=None) -> Generator:
         objects = self._objects_touched(request)
+        t0 = self.env.now
         self._m_placements.add(objects)
         yield from charge_sw_placement(
             self.core, self.image, request, self.config.sw_placement_ns
@@ -182,11 +200,20 @@ class UifdDriver:
             # Client-side encode (with direct=False the primary OSD
             # encodes and charges its own cost instead).
             yield from self.core.run(self.config.sw_ec_encode_ns * objects)
-        yield from self._image_io(request, direct=fanout)
+        if ctx is not None:
+            ctx.record("placement", "compute", t0, self.env.now, objects=objects)
+        fab = ctx.child("fabric", "net") if ctx is not None else None
+        ok = False
+        try:
+            yield from self._image_io(request, direct=fanout, ctx=fab)
+            ok = True
+        finally:
+            if fab is not None:
+                fab.finish(ok=ok)
 
     # -- common ---------------------------------------------------------------------------
 
-    def _image_io(self, request: Request, direct: bool) -> Generator:
+    def _image_io(self, request: Request, direct: bool, ctx=None) -> Generator:
         saved = self.image.direct
         self.image.direct = direct
         try:
@@ -195,8 +222,8 @@ class UifdDriver:
                 data = request.data()
                 if data is None:
                     data = b"\x00" * request.size
-                yield from self.image.write(offset, data, sequential=request.sequential)
+                yield from self.image.write(offset, data, sequential=request.sequential, ctx=ctx)
             else:
-                yield from self.image.read(offset, request.size)
+                yield from self.image.read(offset, request.size, ctx=ctx)
         finally:
             self.image.direct = saved

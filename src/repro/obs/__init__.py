@@ -1,0 +1,88 @@
+"""repro.obs: causal observability for the simulated datapath.
+
+Three pieces (ISSUE 5 tentpole):
+
+* :mod:`~repro.obs.context` — :class:`CausalTracer` and the
+  :class:`SpanNode` trees it grows: one per workload op, with
+  parent/child edges at every layer hand-off, fan-out, and retry leg;
+* :mod:`~repro.obs.critical_path` — exact attribution of end-to-end
+  latency to the spans that gated it, plus straggler-slack reporting;
+* :mod:`~repro.obs.sampler` / :mod:`~repro.obs.digest` /
+  :mod:`~repro.obs.export` — continuous resource telemetry, streaming
+  per-stage percentile digests, and Perfetto/flamegraph export.
+
+The CLI front end lives in :mod:`repro.obs.profile` (``python -m repro
+profile``); it is intentionally **not** imported at package-init time —
+it pulls in the framework and bench layers, which import this package.
+Its names (``run_profile``, ``profile_smoke``, ``ProfileReport``,
+``ProfileScenario``, ``PROFILE_SCENARIOS``) still resolve lazily via
+``repro.obs.<name>`` once the package tree is fully loaded.
+
+Everything here is event-stream neutral: enabling the causal tracer or
+the sampler changes no simulated event, so goldens and benchmark
+numbers are identical with observability on or off.
+"""
+
+from .context import CausalTracer, SpanNode, wrap_span
+from .critical_path import (
+    CriticalPath,
+    PathSegment,
+    StragglerReport,
+    aggregate_attribution,
+    analyze,
+    stragglers,
+    verify_exact,
+)
+from .digest import StreamingDigest
+from .export import (
+    export_flamegraph,
+    export_perfetto,
+    export_span_trees,
+    folded_stacks,
+    to_perfetto,
+    validate_trace_document,
+)
+from .sampler import ResourceSampler, install_framework_probes, telemetry_summary
+
+#: Lazily re-exported from :mod:`repro.obs.profile` (PEP 562) — a
+#: module-level import would cycle through the framework layer.
+_PROFILE_EXPORTS = (
+    "PROFILE_SCENARIOS",
+    "ProfileReport",
+    "ProfileScenario",
+    "profile_smoke",
+    "run_profile",
+)
+
+
+def __getattr__(name: str):
+    if name in _PROFILE_EXPORTS:
+        from . import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    *_PROFILE_EXPORTS,
+    "CausalTracer",
+    "CriticalPath",
+    "PathSegment",
+    "ResourceSampler",
+    "SpanNode",
+    "StragglerReport",
+    "StreamingDigest",
+    "aggregate_attribution",
+    "analyze",
+    "export_flamegraph",
+    "export_perfetto",
+    "export_span_trees",
+    "folded_stacks",
+    "install_framework_probes",
+    "stragglers",
+    "telemetry_summary",
+    "to_perfetto",
+    "validate_trace_document",
+    "verify_exact",
+    "wrap_span",
+]

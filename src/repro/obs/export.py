@@ -1,0 +1,222 @@
+"""Span-tree and telemetry export: Perfetto-compatible JSON + folded stacks.
+
+The document uses the Chrome trace-event format Perfetto ingests
+natively.  Lanes are real this time (satellite of ISSUE 5): each
+datapath layer gets its own thread track, each OSD fan-out leg gets a
+per-target lane under its layer, and every ``obs.*`` TimeSeries
+becomes a counter track on its own process — so a replicated write's
+three replica legs render as three parallel bars instead of one
+overdrawn rectangle.
+
+pid layout:
+  0 — request span trees (one tid per lane, metadata-named)
+  1 — resource counter tracks
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .context import SpanNode
+
+SPAN_PID = 0
+COUNTER_PID = 1
+
+_FANOUT_KINDS = frozenset({"rpc", "fanout"})
+
+
+class _LaneTable:
+    """Stable lane (tid) assignment: first-seen order, so two seeded
+    runs export byte-identical documents."""
+
+    def __init__(self):
+        self.lanes: dict[str, int] = {}
+
+    def tid(self, lane: str) -> int:
+        tid = self.lanes.get(lane)
+        if tid is None:
+            tid = len(self.lanes)
+            self.lanes[lane] = tid
+        return tid
+
+
+def _lane_for(span: SpanNode, depth: int, parent_lane: str) -> str:
+    if depth == 0:
+        return "op"
+    if depth == 1:
+        return span.name
+    if span.kind in _FANOUT_KINDS:
+        return f"{parent_lane}/{span.name}"
+    return parent_lane
+
+
+def _emit_span(span: SpanNode, depth: int, parent_lane: str, lanes: _LaneTable, events: list, root_id: int) -> None:
+    lane = _lane_for(span, depth, parent_lane)
+    if span.end_ns >= 0:
+        event = {
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            # Trace-event timestamps are microseconds; keep ns resolution.
+            "ts": span.start_ns / 1000.0,
+            "dur": (span.end_ns - span.start_ns) / 1000.0,
+            "pid": SPAN_PID,
+            "tid": lanes.tid(lane),
+            "args": {
+                "span_id": span.span_id,
+                "root_id": root_id,
+                "start_ns": span.start_ns,
+                "end_ns": span.end_ns,
+            },
+        }
+        for key in sorted(span.meta):
+            value = span.meta[key]
+            if isinstance(value, (int, float, str, bool)):
+                event["args"][key] = value
+        events.append(event)
+    for child in span.children:
+        _emit_span(child, depth + 1, lane, lanes, events, root_id)
+
+
+def to_perfetto(roots: Iterable[SpanNode], registry=None, end_ns: Optional[int] = None) -> dict:
+    """Build the full trace document: span lanes + counter tracks."""
+    from ..sim.monitor import TimeSeries
+
+    lanes = _LaneTable()
+    lanes.tid("op")  # the root lane always exists and always leads
+    events: list[dict] = []
+    for root in roots:
+        _emit_span(root, 0, "op", lanes, events, root_id=root.span_id)
+    events.sort(key=lambda e: (e["ts"], e["tid"], e["args"]["span_id"]))
+
+    meta: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SPAN_PID,
+            "tid": 0,
+            "args": {"name": "repro datapath"},
+        }
+    ]
+    for lane, tid in lanes.lanes.items():
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": SPAN_PID,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+
+    counters: list[dict] = []
+    if registry is not None:
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": COUNTER_PID,
+                "tid": 0,
+                "args": {"name": "resources"},
+            }
+        )
+        for name, metric in registry.collect("obs.").items():
+            if not isinstance(metric, TimeSeries):
+                continue
+            for t, v in zip(metric.times, metric.values):
+                if end_ns is not None and t > end_ns:
+                    break
+                counters.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": t / 1000.0,
+                        "pid": COUNTER_PID,
+                        "tid": 0,
+                        "args": {"value": v},
+                    }
+                )
+    return {"traceEvents": meta + events + counters, "displayTimeUnit": "ns"}
+
+
+def export_perfetto(roots: Iterable[SpanNode], path, registry=None, end_ns: Optional[int] = None) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_perfetto(roots, registry, end_ns), indent=1))
+    return path
+
+
+#: Keys every "X" event must carry for Perfetto to lane it correctly.
+_REQUIRED_SPAN_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+
+def validate_trace_document(doc: dict) -> list[str]:
+    """Schema check for exported documents (used by the CI smoke job).
+
+    Returns a list of problems; empty means the document is well-formed:
+    every span event complete and non-negative, every referenced lane
+    named by metadata, counters numeric and time-ordered per series.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    named_lanes: set[tuple[int, int]] = set()
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            if not e.get("args", {}).get("name"):
+                problems.append(f"unnamed thread metadata: {e!r}")
+            named_lanes.add((e.get("pid"), e.get("tid")))
+    counter_clock: dict[tuple, float] = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "X":
+            missing = [k for k in _REQUIRED_SPAN_KEYS if k not in e]
+            if missing:
+                problems.append(f"event {i}: missing {missing}")
+                continue
+            if e["ts"] < 0 or e["dur"] < 0:
+                problems.append(f"event {i}: negative ts/dur")
+            if (e["pid"], e["tid"]) not in named_lanes:
+                problems.append(f"event {i}: lane ({e['pid']},{e['tid']}) has no thread_name")
+            args = e["args"]
+            if "start_ns" in args and "end_ns" in args and args["end_ns"] < args["start_ns"]:
+                problems.append(f"event {i}: end_ns < start_ns")
+        elif ph == "C":
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"counter {i}: non-numeric value")
+                continue
+            key = (e.get("pid"), e.get("name"))
+            last = counter_clock.get(key)
+            if last is not None and e["ts"] < last:
+                problems.append(f"counter {i}: timestamps go backwards for {e.get('name')}")
+            counter_clock[key] = e["ts"]
+        elif ph != "M":
+            problems.append(f"event {i}: unknown phase {ph!r}")
+    return problems
+
+
+def folded_stacks(folded: dict[tuple[str, ...], int]) -> str:
+    """Render an aggregated folded mapping as flamegraph.pl input.
+
+    One line per stack — ``root;stage;leaf <ns>`` — sorted
+    lexicographically so the output is diff-stable.
+    """
+    lines = [f"{';'.join(stack)} {ns}" for stack, ns in folded.items() if ns > 0]
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+def export_flamegraph(folded: dict[tuple[str, ...], int], path) -> Path:
+    path = Path(path)
+    path.write_text(folded_stacks(folded))
+    return path
+
+
+def export_span_trees(roots: Iterable[SpanNode], path) -> Path:
+    """Raw nested JSON dump of the trees (for tooling and the
+    double-run determinism test)."""
+    path = Path(path)
+    path.write_text(json.dumps([r.to_dict() for r in roots], indent=1))
+    return path

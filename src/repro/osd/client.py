@@ -24,7 +24,7 @@ from ..ec import ReedSolomon
 from ..errors import OsdOpError, StorageError
 from ..sim import NULL_METRICS, Environment
 from ..status import BlkStatus
-from .fabric import Fabric, Messenger
+from .fabric import Fabric, Messenger, traced_call
 from .ops import OpKind, OsdOp, OsdReply
 from .osdmap import OSDMap, Pool, PoolType
 from .policy import DEFAULT_POLICY, OpPolicy
@@ -166,6 +166,7 @@ class RadosClient(Messenger):
         offset: int = 0,
         direct: bool = False,
         sequential: bool = False,
+        ctx=None,
     ) -> Generator:
         """Process: durable write of ``data`` to all replicas.
 
@@ -174,6 +175,9 @@ class RadosClient(Messenger):
         targets are retried under the policy against freshly computed
         placement; already-acked replicas are not re-sent, and re-sent
         ops keep their id so OSDs replay them idempotently.
+
+        ``ctx`` is an optional causal span; each (attempt, target) pair
+        becomes one ``rpc`` child, backoffs become ``wait`` children.
         """
         if pool.pool_type != PoolType.REPLICATED:
             raise StorageError(f"pool {pool.name!r} is not replicated")
@@ -185,7 +189,10 @@ class RadosClient(Messenger):
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._note_retry()
+                t0 = self.env.now
                 yield from self._backoff(attempt - 1)
+                if ctx is not None and self.env.now > t0:
+                    ctx.record("backoff", "wait", t0, self.env.now, attempt=attempt)
             acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
             if not acting:
                 raise StorageError(f"no acting set for {object_name!r} (cluster too degraded)")
@@ -211,8 +218,13 @@ class RadosClient(Messenger):
                         ops[target] = op
                     else:
                         op.epoch = self.osdmap.epoch
+                    leg = (
+                        ctx.child(f"osd.{target}", "rpc", attempt=attempt)
+                        if ctx is not None
+                        else None
+                    )
                     procs[target] = self.env.process(
-                        self.call(f"osd.{target}", op, timeout_ns=policy.timeout_ns), name="wr"
+                        traced_call(self, f"osd.{target}", op, policy.timeout_ns, leg), name="wr"
                     )
                 results = yield self.env.all_of(list(procs.values()))
                 for target, proc in procs.items():
@@ -242,8 +254,13 @@ class RadosClient(Messenger):
                 else:
                     primary_op.acting = tuple(acting)
                     primary_op.epoch = self.osdmap.epoch
-                reply = yield from self.call(
-                    f"osd.{primary}", primary_op, timeout_ns=policy.timeout_ns
+                leg = (
+                    ctx.child(f"osd.{primary}", "rpc", attempt=attempt)
+                    if ctx is not None
+                    else None
+                )
+                reply = yield from traced_call(
+                    self, f"osd.{primary}", primary_op, policy.timeout_ns, leg
                 )
                 if reply.ok:
                     self.ops_completed += 1
@@ -253,7 +270,7 @@ class RadosClient(Messenger):
         raise self._exhausted("write", object_name, policy.max_attempts, last)
 
     def read_replicated(
-        self, pool: Pool, object_name: str, offset: int, length: int
+        self, pool: Pool, object_name: str, offset: int, length: int, ctx=None
     ) -> Generator:
         """Process: read, failing over primary -> secondaries; returns bytes.
 
@@ -270,7 +287,10 @@ class RadosClient(Messenger):
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._note_retry()
+                t0 = self.env.now
                 yield from self._backoff(attempt - 1)
+                if ctx is not None and self.env.now > t0:
+                    ctx.record("backoff", "wait", t0, self.env.now, attempt=attempt)
             acting = [o for o in self.compute_placement(pool, object_name) if o != CRUSH_ITEM_NONE]
             if not acting:
                 raise StorageError(f"no acting set for {object_name!r}")
@@ -279,7 +299,12 @@ class RadosClient(Messenger):
                     OpKind.READ, pool.pool_id, object_name, offset, length,
                     epoch=self.osdmap.epoch,
                 )
-                reply = yield from self.call(f"osd.{target}", op, timeout_ns=policy.timeout_ns)
+                leg = (
+                    ctx.child(f"osd.{target}", "rpc", attempt=attempt, failover=idx)
+                    if ctx is not None
+                    else None
+                )
+                reply = yield from traced_call(self, f"osd.{target}", op, policy.timeout_ns, leg)
                 if reply.ok:
                     if idx > 0:
                         self._note_failover()
@@ -302,6 +327,7 @@ class RadosClient(Messenger):
         direct: bool = False,
         sequential: bool = False,
         shards: Optional[list[bytes]] = None,
+        ctx=None,
     ) -> Generator:
         """Process: EC write of a whole object.
 
@@ -325,7 +351,10 @@ class RadosClient(Messenger):
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._note_retry()
+                t0 = self.env.now
                 yield from self._backoff(attempt - 1)
+                if ctx is not None and self.env.now > t0:
+                    ctx.record("backoff", "wait", t0, self.env.now, attempt=attempt)
             acting = self.compute_placement(pool, object_name)
             targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
             if len(targets) < pool.k:
@@ -358,8 +387,13 @@ class RadosClient(Messenger):
                         shard_ops[key] = op
                     else:
                         op.epoch = self.osdmap.epoch
+                    leg = (
+                        ctx.child(f"osd.{target}", "rpc", attempt=attempt, shard=rank)
+                        if ctx is not None
+                        else None
+                    )
                     procs[key] = self.env.process(
-                        self.call(f"osd.{target}", op, timeout_ns=policy.timeout_ns),
+                        traced_call(self, f"osd.{target}", op, policy.timeout_ns, leg),
                         name="shard",
                     )
                 results = yield self.env.all_of(list(procs.values()))
@@ -392,8 +426,13 @@ class RadosClient(Messenger):
                 else:
                     primary_op.acting = tuple(osd for _, osd in targets)
                     primary_op.epoch = self.osdmap.epoch
-                reply = yield from self.call(
-                    f"osd.{primary}", primary_op, timeout_ns=policy.timeout_ns
+                leg = (
+                    ctx.child(f"osd.{primary}", "rpc", attempt=attempt)
+                    if ctx is not None
+                    else None
+                )
+                reply = yield from traced_call(
+                    self, f"osd.{primary}", primary_op, policy.timeout_ns, leg
                 )
                 if reply.ok:
                     self.ops_completed += 1
@@ -403,7 +442,7 @@ class RadosClient(Messenger):
         raise self._exhausted("ec write", object_name, policy.max_attempts, last)
 
     def read_ec(
-        self, pool: Pool, object_name: str, length: int, direct: bool = False
+        self, pool: Pool, object_name: str, length: int, direct: bool = False, ctx=None
     ) -> Generator:
         """Process: EC read of a whole object of known ``length``.
 
@@ -418,7 +457,10 @@ class RadosClient(Messenger):
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._note_retry()
+                t0 = self.env.now
                 yield from self._backoff(attempt - 1)
+                if ctx is not None and self.env.now > t0:
+                    ctx.record("backoff", "wait", t0, self.env.now, attempt=attempt)
             acting = self.compute_placement(pool, object_name)
             targets = [(rank, osd) for rank, osd in enumerate(acting) if osd != CRUSH_ITEM_NONE]
             if len(targets) < pool.k:
@@ -426,14 +468,21 @@ class RadosClient(Messenger):
             if direct:
                 codec = self._codec(pool)
                 shard_len = codec.shard_size(length)
+                gather = (
+                    ctx.child("gather", "fanout", attempt=attempt) if ctx is not None else None
+                )
                 try:
                     shards, degraded = yield from gather_shards(
                         self, pool, object_name, targets, shard_len, self.osdmap.epoch,
-                        timeout_ns=policy.timeout_ns,
+                        timeout_ns=policy.timeout_ns, ctx=gather,
                     )
                 except StorageError as exc:
+                    if gather is not None:
+                        gather.finish(ok=False)
                     last = exc
                     continue
+                if gather is not None:
+                    gather.finish(degraded=degraded)
                 if degraded:
                     self._note_degraded()
                 self.ops_completed += 1
@@ -448,7 +497,10 @@ class RadosClient(Messenger):
                 acting=tuple(osd for _, osd in targets),
                 epoch=self.osdmap.epoch,
             )
-            reply = yield from self.call(f"osd.{primary}", op, timeout_ns=policy.timeout_ns)
+            leg = (
+                ctx.child(f"osd.{primary}", "rpc", attempt=attempt) if ctx is not None else None
+            )
+            reply = yield from traced_call(self, f"osd.{primary}", op, policy.timeout_ns, leg)
             if reply.ok:
                 self.ops_completed += 1
                 return reply.data
@@ -458,7 +510,8 @@ class RadosClient(Messenger):
 
 
 def gather_shards(
-    messenger, pool, object_name, targets, shard_len, epoch, preloaded=None, timeout_ns=None
+    messenger, pool, object_name, targets, shard_len, epoch, preloaded=None, timeout_ns=None,
+    ctx=None,
 ):
     """Process: collect >= k shards; returns ``(shards, degraded)``.
 
@@ -494,8 +547,9 @@ def gather_shards(
                 shard=rank,
                 epoch=epoch,
             )
+            leg = ctx.child(f"osd.{target}", "rpc", shard=rank) if ctx is not None else None
             procs[rank] = env.process(
-                messenger.call(f"osd.{target}", op, timeout_ns=timeout_ns), name="shard"
+                traced_call(messenger, f"osd.{target}", op, timeout_ns, leg), name="shard"
             )
         results = yield env.all_of(list(procs.values()))
         for rank, proc in procs.items():

@@ -355,3 +355,24 @@ class Messenger:
         """Handle an incoming request (override in daemons)."""
         raise NotImplementedError(f"{self.entity} received unexpected request {op!r}")
         yield  # pragma: no cover
+
+
+def traced_call(
+    messenger: Messenger, dst: str, op: OsdOp, timeout_ns: Optional[int] = None, span=None
+) -> Generator:
+    """Process: :meth:`Messenger.call` with an optional causal leg span.
+
+    Stamps ``op.obs_span`` so the serving OSD can attach its
+    queue/service sub-spans to the same leg, and closes ``span`` when
+    the reply (including the synthetic timeout reply) lands.  With
+    ``span=None`` this is byte-for-byte ``messenger.call``: same events,
+    same return value.
+    """
+    if span is not None:
+        op.obs_span = span
+    reply = yield from messenger.call(dst, op, timeout_ns=timeout_ns)
+    if span is not None:
+        if not reply.ok:
+            span.annotate(status=reply.status.name)
+        span.finish(ok=reply.ok)
+    return reply

@@ -47,6 +47,10 @@ class OsdOp:
     #: Write-pattern hint for the media model.
     sequential: bool = False
     epoch: int = 0
+    #: Causal span of the attempt leg carrying this op (repro.obs);
+    #: travels with the message so the serving OSD can attach its
+    #: queue/service sub-spans.  Never serialized or compared.
+    obs_span: Optional[object] = field(default=None, repr=False, compare=False)
     op_id: int = field(default_factory=lambda: next(_op_ids))
 
     def wire_size(self) -> int:

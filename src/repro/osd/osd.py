@@ -19,9 +19,10 @@ from typing import Callable, Generator, Optional
 
 from ..ec import ReedSolomon
 from ..errors import StorageError
+from ..obs.context import wrap_span
 from ..sim import NULL_METRICS, Environment, Resource
 from ..units import us
-from .fabric import Fabric, Messenger
+from .fabric import Fabric, Messenger, traced_call
 from .objects import ObjectStore
 from .ops import OpKind, OsdOp, OsdReply
 from .osdmap import OSDMap, PoolType
@@ -140,6 +141,7 @@ class OsdDaemon(Messenger):
     def on_request(self, op: OsdOp, src: str) -> Generator:
         """Dispatch one op under the worker pool."""
         t0 = self.env.now
+        leg = getattr(op, "obs_span", None)
         cached = self._reply_cache.get(op.op_id)
         if cached is not None:
             # Idempotent replay (client retry or duplicated message):
@@ -147,10 +149,19 @@ class OsdDaemon(Messenger):
             self.replays_absorbed += 1
             self._m_replays.add()
             yield self.env.timeout(self.config.op_cost_ns)
+            if leg is not None:
+                leg.record("osd.replay", "service", t0, self.env.now, osd=self.osd_id)
             yield from self.reply_to(src, cached)
             return
         req = self.cpu.request()
         yield req
+        svc = None
+        if leg is not None:
+            # Worker-pool wait vs. actual service, split explicitly so
+            # the critical path can tell saturation from slow handlers.
+            leg.record("osd.queue", "queue", t0, self.env.now, osd=self.osd_id)
+            svc = leg.child("osd.service", "service", osd=self.osd_id)
+            op._obs_service = svc
         try:
             yield self.env.timeout(self.config.op_cost_ns)
             handler = {
@@ -182,6 +193,8 @@ class OsdDaemon(Messenger):
         self.ops_served += 1
         self._m_ops.add()
         self._m_op_latency.record(self.env.now - t0)
+        if svc is not None:
+            svc.finish(ok=reply.ok)
         yield from self.reply_to(src, reply)
 
     def _do_read(self, op: OsdOp) -> Generator:
@@ -199,6 +212,7 @@ class OsdDaemon(Messenger):
         if op.data is None:
             raise StorageError(f"write op {op.op_id} carries no data")
         yield self.env.timeout(self.config.rep_fanout_cost_ns)
+        svc = getattr(op, "_obs_service", None)
         replicas = [o for o in op.acting if o != self.osd_id]
         sub_ops = []
         for peer in replicas:
@@ -212,14 +226,22 @@ class OsdDaemon(Messenger):
                 sequential=op.sequential,
                 epoch=op.epoch,
             )
+            sub_span = svc.child(f"osd.{peer}", "rpc") if svc is not None else None
             sub_ops.append(
                 self.env.process(
-                    self.call(f"osd.{peer}", sub, timeout_ns=self.config.subop_timeout_ns),
+                    traced_call(
+                        self, f"osd.{peer}", sub, self.config.subop_timeout_ns, sub_span
+                    ),
                     name="rep",
                 )
             )
+        local_span = svc.child("local-apply", "service") if svc is not None else None
         local = self.env.process(
-            self._apply_write(op.object_name, op.offset, op.data, op.sequential), name="local"
+            wrap_span(
+                local_span,
+                self._apply_write(op.object_name, op.offset, op.data, op.sequential),
+            ),
+            name="local",
         )
         results = yield self.env.all_of(sub_ops + [local])
         for proc in sub_ops:
@@ -248,7 +270,11 @@ class OsdDaemon(Messenger):
             raise StorageError(f"ec write {op.op_id} carries no data")
         pool = self.osdmap.pool(op.pool_id)
         codec = self.codec_for(op.pool_id)
+        svc = getattr(op, "_obs_service", None)
+        t_enc = self.env.now
         yield self.env.timeout(self.config.ec_encode_ns(pool.k, pool.m, len(op.data)))
+        if svc is not None:
+            svc.record("ec-encode", "compute", t_enc, self.env.now, k=pool.k, m=pool.m)
         shards = codec.encode(op.data)
         procs = []
         local_shard = None
@@ -267,17 +293,31 @@ class OsdDaemon(Messenger):
                 sequential=op.sequential,
                 epoch=op.epoch,
             )
+            sub_span = (
+                svc.child(f"osd.{target}", "rpc", shard=rank) if svc is not None else None
+            )
             procs.append(
                 self.env.process(
-                    self.call(f"osd.{target}", sub, timeout_ns=self.config.subop_timeout_ns),
+                    traced_call(
+                        self, f"osd.{target}", sub, self.config.subop_timeout_ns, sub_span
+                    ),
                     name="shard",
                 )
             )
         if local_shard is not None:
             name = shard_object_name(op.object_name, local_shard)
+            local_span = (
+                svc.child("local-shard", "service", shard=local_shard)
+                if svc is not None
+                else None
+            )
             procs.append(
                 self.env.process(
-                    self._apply_write(name, 0, shards[local_shard], op.sequential), name="local"
+                    wrap_span(
+                        local_span,
+                        self._apply_write(name, 0, shards[local_shard], op.sequential),
+                    ),
+                    name="local",
                 )
             )
         results = yield self.env.all_of(procs)
@@ -303,14 +343,18 @@ class OsdDaemon(Messenger):
                     preloaded[rank] = yield from self._apply_read(key, 0, shard_len)
             else:
                 remote_targets.append((rank, target))
+        svc = getattr(op, "_obs_service", None)
         try:
             shards, _degraded = yield from gather_shards(
                 self, pool, op.object_name, remote_targets, shard_len, op.epoch, preloaded,
-                timeout_ns=self.config.subop_timeout_ns,
+                timeout_ns=self.config.subop_timeout_ns, ctx=svc,
             )
         except StorageError as exc:
             return OsdReply(op.op_id, False, error=str(exc))
+        t_dec = self.env.now
         yield self.env.timeout(self.config.ec_decode_ns(pool.k, pool.m, op.length))
+        if svc is not None:
+            svc.record("ec-decode", "compute", t_dec, self.env.now, k=pool.k, m=pool.m)
         data = codec.decode(shards, op.length)
         return OsdReply(op.op_id, True, data=data)
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..errors import StorageError
+from ..obs.context import wrap_span
 from ..units import mib
 from .client import RadosClient
 from .osdmap import Pool, PoolType
@@ -80,9 +81,14 @@ class RBDImage:
             remaining -= chunk
         return out
 
-    def write(self, offset: int, data: bytes, sequential: bool = False) -> Generator:
-        """Process: write ``data`` at ``offset`` (parallel across objects)."""
+    def write(self, offset: int, data: bytes, sequential: bool = False, ctx=None) -> Generator:
+        """Process: write ``data`` at ``offset`` (parallel across objects).
+
+        ``ctx`` is an optional causal span: multi-object writes open one
+        ``fanout`` child per extent so the straggler object is visible.
+        """
         extents = self._object_extents(offset, len(data))
+        multi = len(extents) > 1
         is_ec = self.pool.pool_type == PoolType.ERASURE
         pre_encoded: list[Optional[list[bytes]]] = [None] * len(extents)
         if is_ec and self.direct and len(extents) > 1:
@@ -104,6 +110,8 @@ class RBDImage:
             payload = data[pos : pos + chunk]
             pos += chunk
             name = self.object_name(idx)
+            leg = ctx.child(f"obj{idx}", "fanout", object=idx) if ctx is not None and multi else None
+            sub_ctx = leg if leg is not None else ctx
             if is_ec:
                 if obj_off != 0:
                     # EC model: writes must start at an object boundary
@@ -111,59 +119,48 @@ class RBDImage:
                     raise StorageError(
                         f"EC image {self.name!r}: partial-object write at offset {offset}"
                     )
-                procs.append(
-                    self.client.env.process(
-                        self.client.write_ec(
-                            self.pool,
-                            name,
-                            payload,
-                            direct=self.direct,
-                            sequential=sequential,
-                            shards=pre_encoded[ext_i],
-                        ),
-                        name="rbd-ec-wr",
-                    )
+                gen = self.client.write_ec(
+                    self.pool,
+                    name,
+                    payload,
+                    direct=self.direct,
+                    sequential=sequential,
+                    shards=pre_encoded[ext_i],
+                    ctx=sub_ctx,
                 )
+                procs.append(self.client.env.process(wrap_span(leg, gen), name="rbd-ec-wr"))
             else:
-                procs.append(
-                    self.client.env.process(
-                        self.client.write_replicated(
-                            self.pool,
-                            name,
-                            payload,
-                            offset=obj_off,
-                            direct=self.direct,
-                            sequential=sequential,
-                        ),
-                        name="rbd-wr",
-                    )
+                gen = self.client.write_replicated(
+                    self.pool,
+                    name,
+                    payload,
+                    offset=obj_off,
+                    direct=self.direct,
+                    sequential=sequential,
+                    ctx=sub_ctx,
                 )
+                procs.append(self.client.env.process(wrap_span(leg, gen), name="rbd-wr"))
         yield self.client.env.all_of(procs)
 
-    def read(self, offset: int, length: int) -> Generator:
+    def read(self, offset: int, length: int, ctx=None) -> Generator:
         """Process: read ``length`` bytes at ``offset``; returns bytes."""
         extents = self._object_extents(offset, length)
+        multi = len(extents) > 1
         env = self.client.env
         procs = []
         for idx, obj_off, chunk in extents:
             name = self.object_name(idx)
+            leg = ctx.child(f"obj{idx}", "fanout", object=idx) if ctx is not None and multi else None
+            sub_ctx = leg if leg is not None else ctx
             if self.pool.pool_type == PoolType.ERASURE:
                 if obj_off != 0:
                     raise StorageError(
                         f"EC image {self.name!r}: partial-object read at offset {offset}"
                     )
-                procs.append(
-                    env.process(
-                        self.client.read_ec(self.pool, name, chunk, direct=self.direct),
-                        name="rbd-ec-rd",
-                    )
-                )
+                gen = self.client.read_ec(self.pool, name, chunk, direct=self.direct, ctx=sub_ctx)
+                procs.append(env.process(wrap_span(leg, gen), name="rbd-ec-rd"))
             else:
-                procs.append(
-                    env.process(
-                        self.client.read_replicated(self.pool, name, obj_off, chunk),
-                        name="rbd-rd",
-                    )
-                )
+                gen = self.client.read_replicated(self.pool, name, obj_off, chunk, ctx=sub_ctx)
+                procs.append(env.process(wrap_span(leg, gen), name="rbd-rd"))
         results = yield env.all_of(procs)
         return b"".join(results[p] for p in procs)

@@ -77,6 +77,10 @@ class RequestTrace:
 class Tracer:
     """Collects per-request stage spans."""
 
+    #: Flat tracers record stage lists only; :class:`repro.obs.CausalTracer`
+    #: overrides this and additionally grows span trees.
+    causal = False
+
     def __init__(self, env):
         self.env = env
         self.traces: dict[int, RequestTrace] = {}
@@ -118,6 +122,11 @@ class Tracer:
         Every request that *entered* a stage counts toward that stage's
         mean, including zero-duration visits — filtering those out would
         silently bias stage shares upward.
+
+        Requests that never reached ``complete`` (failed by chaos, or
+        in flight when the run ended) are surfaced under the
+        ``"incomplete"`` key as a plain count: dropping them silently
+        would bias chaos-run breakdowns toward the survivors.
         """
         out: dict[str, float] = {}
         if not self.traces:
@@ -126,11 +135,15 @@ class Tracer:
             vals = [t.stage_ns(stage) for t in self.traces.values() if t.entered(stage)]
             if vals:
                 out[stage] = float(np.mean(vals)) / 1000.0
+        incomplete = sum(1 for t in self.traces.values() if not t.entered("complete"))
+        if incomplete:
+            out["incomplete"] = incomplete
         return out
 
     def breakdown_table(self) -> str:
         """Render the mean per-stage latency contribution."""
         summary = self.summary()
+        incomplete = summary.pop("incomplete", 0)
         total = sum(summary.values()) or 1.0
         lines = ["stage      mean-us   share"]
         for stage in STAGES:
@@ -138,6 +151,8 @@ class Tracer:
                 lines.append(
                     f"{stage:10s} {summary[stage]:7.2f}  {summary[stage] / total:6.1%}"
                 )
+        if incomplete:
+            lines.append(f"(+{int(incomplete)} request(s) never reached complete)")
         return "\n".join(lines)
 
     # -- span export -------------------------------------------------------------
@@ -160,10 +175,14 @@ class Tracer:
     def to_chrome_trace(self) -> dict:
         """The span stream as a Chrome trace-event object (JSON-ready).
 
-        Complete ("X") events, one per span, timestamps in microseconds;
-        each request renders as its own track (``tid`` = request id) so
-        the six stages line up left-to-right in ``chrome://tracing``.
+        Complete ("X") events, one per span, timestamps in microseconds.
+        Each *stage* renders as its own named track (``tid`` = canonical
+        stage index): Perfetto then shows six readable lanes with every
+        request's visit to a layer on that layer's lane, instead of one
+        unreadable track per request.  The owning request stays in
+        ``args.request_id``.
         """
+        stage_tid = {stage: i for i, stage in enumerate(STAGES)}
         events = [
             {
                 "name": span.stage,
@@ -172,20 +191,33 @@ class Tracer:
                 "ts": span.start_ns / 1000.0,
                 "dur": span.duration_ns / 1000.0,
                 "pid": 0,
-                "tid": rid,
+                "tid": stage_tid.get(span.stage, len(STAGES)),
                 "args": {"request_id": rid, "start_ns": span.start_ns, "end_ns": span.end_ns},
             }
             for rid, span in self.iter_spans()
         ]
-        events.append(
+        meta = [
             {
                 "name": "process_name",
                 "ph": "M",
                 "pid": 0,
+                "tid": 0,
                 "args": {"name": "repro I/O lifecycle"},
             }
-        )
-        return {"traceEvents": events, "displayTimeUnit": "ns"}
+        ]
+        used_tids = {e["tid"] for e in events}
+        for stage, tid in stage_tid.items():
+            if tid in used_tids:
+                meta.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 0,
+                        "tid": tid,
+                        "args": {"name": stage},
+                    }
+                )
+        return {"traceEvents": events + meta, "displayTimeUnit": "ns"}
 
     def export_chrome_trace(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
         """Write the Chrome trace-event JSON; returns the path written."""

@@ -1,0 +1,220 @@
+"""Critical-path attribution math on hand-built span trees.
+
+Each scenario's numbers are worked out by hand in the comments; the
+property test then re-proves the exactness invariant (disjoint, ordered,
+covering, sums to the root duration) over randomly generated trees.
+"""
+
+import random
+
+from repro.obs.context import CausalTracer
+from repro.obs.critical_path import (
+    aggregate_attribution,
+    analyze,
+    stragglers,
+    verify_exact,
+)
+from repro.sim import Environment
+
+
+def _tracer():
+    return CausalTracer(Environment())
+
+
+def _check_exact(root):
+    path = analyze(root)
+    assert verify_exact(path) is None
+    assert sum(s.duration_ns for s in path.segments) == root.duration_ns
+    return path
+
+
+# --- hand-built scenarios -----------------------------------------------------
+
+
+def test_straggler_leg_owns_the_window():
+    # root "write" [0,100]
+    #   fabric [10,90]
+    #     osd.1 rpc [10,40]   <- shadowed replica leg
+    #     osd.2 rpc [10,90]   <- straggler, gates the fabric stage
+    tracer = _tracer()
+    root = tracer.start_root("write", start_ns=0)
+    fabric = root.record("fabric", "stage", 10, 90)
+    osd1 = fabric.record("osd.1", "rpc", 10, 40)
+    osd2 = fabric.record("osd.2", "rpc", 10, 90)
+    root.finish(end_ns=100)
+
+    path = _check_exact(root)
+    # osd.2 owns [10,90]; the root's own time is [0,10] + [90,100].
+    by_span = path.by_span()
+    assert by_span[osd2.span_id] == 80
+    assert osd1.span_id not in by_span  # fully shadowed: zero critical-path time
+    assert by_span[root.span_id] == 20
+    assert path.by_stage() == {"write": 20, "fabric": 80}
+    assert path.by_kind() == {"op": 20, "rpc": 80}
+
+    reports = stragglers(root)
+    assert len(reports) == 1
+    assert reports[0].parent is fabric
+    assert reports[0].gating is osd2
+    assert reports[0].slack == [(osd1, 50)]
+
+
+def test_retry_loop_attributes_each_leg_and_the_backoff():
+    # root "read" [0,200]
+    #   fabric [0,200]
+    #     osd.3 rpc [0,60]     <- attempt 1, timed out
+    #     backoff wait [60,80]
+    #     osd.3 rpc [80,200]   <- attempt 2, succeeded
+    tracer = _tracer()
+    root = tracer.start_root("read", start_ns=0)
+    fabric = root.record("fabric", "stage", 0, 200)
+    fabric.record("osd.3", "rpc", 0, 60, attempt=1)
+    fabric.record("backoff", "wait", 60, 80, attempt=2)
+    fabric.record("osd.3", "rpc", 80, 200, attempt=2)
+    root.finish(end_ns=200)
+
+    path = _check_exact(root)
+    # Sequential legs: every leg is on the critical path, nothing shadowed.
+    assert path.by_kind() == {"rpc": 180, "wait": 20}
+    assert path.by_stage() == {"fabric": 200}
+    # Sequential retry legs are attribution, not straggler slack.
+    assert stragglers(root) == []
+
+
+def test_ec_partial_decode_gating_shard():
+    # root "read" [0,150]
+    #   fabric [0,140]
+    #     gather fanout [0,100] with 4 shard legs ending 40/60/80/100
+    #     ec-decode compute [100,130]
+    tracer = _tracer()
+    root = tracer.start_root("read", start_ns=0)
+    fabric = root.record("fabric", "stage", 0, 140)
+    gather = fabric.record("gather", "fanout", 0, 100)
+    legs = [
+        gather.record(f"osd.{i}", "rpc", 0, end, shard=i)
+        for i, end in enumerate((40, 60, 80, 100))
+    ]
+    fabric.record("ec-decode", "compute", 100, 130)
+    root.finish(end_ns=150)
+
+    path = _check_exact(root)
+    by_span = path.by_span()
+    assert by_span[legs[-1].span_id] == 100  # the slowest shard gates the gather
+    assert all(leg.span_id not in by_span for leg in legs[:-1])
+    assert path.by_kind() == {"rpc": 100, "compute": 30, "stage": 10, "op": 10}
+    assert path.by_stage() == {"fabric": 140, "read": 10}
+
+    reports = stragglers(root)
+    assert len(reports) == 1
+    assert reports[0].gating is legs[-1]
+    assert sorted(s for _, s in reports[0].slack) == [20, 40, 60]
+
+
+def test_open_and_zero_duration_children_are_skipped():
+    tracer = _tracer()
+    root = tracer.start_root("write", start_ns=0)
+    fabric = root.record("fabric", "stage", 10, 50)
+    fabric.child("dangling", "rpc", start_ns=20)  # never finished
+    fabric.record("marker", "stage", 30, 30)  # zero duration
+    root.finish(end_ns=60)
+
+    path = _check_exact(root)
+    names = {seg.span.name for seg in path.segments}
+    assert names == {"write", "fabric"}
+
+
+def test_leaf_root_is_a_single_segment():
+    tracer = _tracer()
+    root = tracer.start_root("read", start_ns=5)
+    root.finish(end_ns=47)
+    path = _check_exact(root)
+    assert len(path.segments) == 1
+    assert (path.segments[0].start_ns, path.segments[0].end_ns) == (5, 47)
+
+
+def test_open_root_yields_no_segments():
+    tracer = _tracer()
+    root = tracer.start_root("read", start_ns=0)
+    root.record("fabric", "stage", 0, 10)
+    path = analyze(root)
+    assert path.segments == []
+    assert verify_exact(path) is None
+
+
+def test_aggregate_attribution_sums_across_requests():
+    tracer = _tracer()
+    paths = []
+    for i in range(3):
+        root = tracer.start_root("write", start_ns=i * 1000)
+        root.record("fabric", "stage", i * 1000 + 10, i * 1000 + 90)
+        root.finish(end_ns=i * 1000 + 100)
+        paths.append(_check_exact(root))
+    by_stage, by_kind, folded = aggregate_attribution(paths)
+    assert by_stage == {"write": 3 * 20, "fabric": 3 * 80}
+    assert by_kind == {"op": 60, "stage": 240}
+    assert folded == {("write",): 60, ("write", "fabric"): 240}
+    assert sum(by_stage.values()) == sum(p.total_ns for p in paths)
+
+
+# --- property test ------------------------------------------------------------
+
+
+def _grow(rng, parent, lo, hi, depth):
+    """Randomly populate [lo, hi] with overlapping/nested/open children."""
+    for _ in range(rng.randint(0, 4)):
+        a = rng.randint(lo, hi)
+        b = rng.randint(lo, hi)
+        start, end = min(a, b), max(a, b)
+        kind = rng.choice(["stage", "rpc", "fanout", "queue", "wait", "compute"])
+        child = parent.child(f"c{depth}", kind, start_ns=start)
+        roll = rng.random()
+        if roll < 0.1:
+            continue  # leave it open
+        child.finish(end_ns=end)
+        if end > start and depth < 4 and rng.random() < 0.7:
+            _grow(rng, child, start, end, depth + 1)
+
+
+def test_attribution_is_exact_on_random_trees():
+    rng = random.Random(1234)
+    for case in range(60):
+        tracer = _tracer()
+        start = rng.randint(0, 1000)
+        end = start + rng.randint(0, 5000)
+        root = tracer.start_root("op", start_ns=start)
+        _grow(rng, root, start, end, 0)
+        root.finish(end_ns=end)
+        path = analyze(root)
+        problem = verify_exact(path)
+        assert problem is None, f"case {case}: {problem}"
+        assert sum(s.duration_ns for s in path.segments) == root.duration_ns
+        # Groupings are views over the same partition: identical totals.
+        total = root.duration_ns
+        assert sum(path.by_span().values()) == total
+        assert sum(path.by_kind().values()) == total
+        assert sum(path.by_stage().values()) == total
+        assert sum(path.folded().values()) == total
+
+
+def test_random_trees_segments_stay_inside_owner_spans():
+    rng = random.Random(99)
+    for _ in range(20):
+        tracer = _tracer()
+        root = tracer.start_root("op", start_ns=0)
+        _grow(rng, root, 0, 4000, 0)
+        root.finish(end_ns=4000)
+        for seg in analyze(root).segments:
+            assert seg.start_ns >= seg.span.start_ns
+            assert seg.end_ns <= seg.span.end_ns
+            assert seg.stack[0] == "op"
+            assert seg.stack[-1] == seg.span.name
+
+
+def test_verify_exact_catches_broken_partitions():
+    tracer = _tracer()
+    root = tracer.start_root("op", start_ns=0)
+    root.finish(end_ns=100)
+    path = analyze(root)
+    assert verify_exact(path) is None
+    path.segments[0].end_ns = 90  # hole at the end
+    assert verify_exact(path) is not None

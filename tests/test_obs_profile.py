@@ -1,0 +1,145 @@
+"""The profile front end: reports, digests, sampler series, exports."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.digest import StreamingDigest
+from repro.obs.export import folded_stacks, validate_trace_document
+from repro.obs.profile import PROFILE_SCENARIOS, run_profile
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_profile("randwrite", nrequests=20, seed=0)
+
+
+def test_scenario_catalog_covers_the_datapaths():
+    assert {"randread", "randwrite", "read", "write", "ec-read", "ec-write", "chaos"} \
+        <= set(PROFILE_SCENARIOS)
+    assert PROFILE_SCENARIOS["ec-write"].pool == "erasure"
+    assert PROFILE_SCENARIOS["chaos"].chaos
+
+
+def test_report_invariants(report):
+    assert report.complete == 20
+    assert report.incomplete == 0
+    assert report.errors == 0
+    assert report.latencies_match
+    # Attribution partitions every request: stage/kind totals and the
+    # latency digest all see the same nanoseconds.
+    total = sum(p.total_ns for p in report.paths)
+    assert sum(report.by_stage.values()) == total
+    assert sum(report.by_kind.values()) == total
+    assert sum(report.folded.values()) == total
+    assert report.total_digest.count == 20
+    assert report.total_digest.total == total
+
+
+def test_report_render(report):
+    text = report.render()
+    assert "critical-path attribution" in text
+    assert "100.0%" in text
+    assert "fabric" in text
+    assert "resource telemetry" in text
+    assert "straggler slack" in text  # replicated writes fan out
+
+
+def test_telemetry_series_present(report):
+    names = set(report.telemetry)
+    assert any(n.startswith("obs.cpu.core") for n in names)
+    assert "obs.blk.inflight" in names
+    assert "obs.qdma.gbps" in names
+    assert report.samples_taken > 1
+
+
+def test_perfetto_document_is_schema_clean(report):
+    doc = report.perfetto()
+    assert validate_trace_document(doc) == []
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert spans and counters
+    # Fan-out legs get their own lanes: more than one tid in use.
+    assert len({e["tid"] for e in spans}) > 1
+
+
+def test_exports_write_loadable_artifacts(report, tmp_path):
+    perfetto = report.export(tmp_path / "trace.json")
+    doc = json.loads(perfetto.read_text())
+    assert validate_trace_document(doc) == []
+    flame = report.export_flamegraph(tmp_path / "flame.folded")
+    lines = flame.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        stack, ns = line.rsplit(" ", 1)
+        assert stack.split(";")[0] in ("read", "write", "randread", "randwrite")
+        assert int(ns) > 0
+    trees = json.loads(report.export_trees(tmp_path / "trees.json").read_text())
+    assert len(trees) == 20
+    assert all(t["end_ns"] >= t["start_ns"] for t in trees)
+
+
+def test_folded_stacks_rendering():
+    assert folded_stacks({}) == ""
+    out = folded_stacks({("a", "b"): 10, ("a",): 5, ("zero",): 0})
+    assert out == "a 5\na;b 10\n"
+
+
+def test_streaming_digest_quantiles_track_samples():
+    digest = StreamingDigest()
+    for v in range(1, 1001):
+        digest.add(v)
+    assert digest.count == 1000
+    assert digest.min_value == 1 and digest.max_value == 1000
+    assert digest.quantile(0.0) == 1
+    assert digest.quantile(1.0) == 1000
+    # Log-linear buckets: ~3% worst-case relative error.
+    assert digest.quantile(0.5) == pytest.approx(500, rel=0.05)
+    assert digest.quantile(0.99) == pytest.approx(990, rel=0.05)
+    pct = digest.percentiles()
+    assert set(pct) == {"p50", "p95", "p99", "p999"}
+    assert digest.mean == pytest.approx(500.5)
+
+
+def test_streaming_digest_merge_matches_combined():
+    a, b, both = StreamingDigest(), StreamingDigest(), StreamingDigest()
+    for v in (3, 80, 5000, 12):
+        a.add(v)
+        both.add(v)
+    for v in (7, 900, 44):
+        b.add(v)
+        both.add(v)
+    a.merge(b)
+    assert a.count == both.count and a.total == both.total
+    assert a.buckets == both.buckets
+    assert a.percentiles() == both.percentiles()
+
+
+def test_ec_profile_has_shard_legs():
+    report = run_profile("ec-write", nrequests=10, seed=1)
+    assert report.complete == 10 and report.latencies_match
+    shard_legs = [
+        s
+        for root in report.roots
+        for s in root.walk()
+        if "shard" in s.meta
+    ]
+    assert shard_legs, "EC writes must dispatch shard legs"
+
+
+def test_cli_profile_runs_and_exports(tmp_path, capsys):
+    out = tmp_path / "p.json"
+    flame = tmp_path / "p.folded"
+    code = main(["profile", "randwrite", "--nrequests", "10",
+                 "--export", str(out), "--flamegraph", str(flame)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "critical-path attribution" in printed
+    assert validate_trace_document(json.loads(out.read_text())) == []
+    assert flame.read_text().strip()
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        run_profile("no-such-scenario")

@@ -47,11 +47,14 @@ def test_chrome_trace_span_nesting_and_ordering(tmp_path):
     # Global stream is ordered by start time.
     starts = [e["args"]["start_ns"] for e in spans]
     assert starts == sorted(starts)
+    # Each stage renders as its own lane (tid = canonical stage index).
+    for e in spans:
+        assert e["tid"] == STAGES.index(e["name"])
     # Per request: spans are well-formed, begin with ring submission, and
     # the completion stage ends the lifecycle.
     by_req = {}
     for e in spans:
-        by_req.setdefault(e["tid"], []).append(e)
+        by_req.setdefault(e["args"]["request_id"], []).append(e)
     assert len(by_req) == 10
     for rid, evs in by_req.items():
         for e in evs:
@@ -142,8 +145,12 @@ def test_summary_on_single_request():
     tracer = Tracer(Environment())
     tracer.record(1, "fabric", 0, 4_000)
     summary = tracer.summary()
-    assert summary == {"fabric": pytest.approx(4.0)}
-    assert "100.0%" in tracer.breakdown_table()
+    # The request never reached "complete", so the summary says so
+    # explicitly instead of silently dropping it from the denominator.
+    assert summary == {"fabric": pytest.approx(4.0), "incomplete": 1}
+    table = tracer.breakdown_table()
+    assert "100.0%" in table
+    assert "never reached complete" in table
 
 
 def test_export_empty_tracer(tmp_path):
