@@ -19,6 +19,7 @@ from .experiments import (
     exp_table3,
 )
 from .breakdown import exp_breakdown
+from .cachebench import cache_smoke, exp_cache, run_cache_case
 from .chaos import ChaosRunStats, ChaosScenario, chaos_smoke, exp_chaos, run_chaos_scenario
 from .export import export_all, export_csv
 from .sweep import SweepSpec, run_sweep
@@ -32,9 +33,12 @@ __all__ = [
     "FIG_WORKLOADS",
     "ChaosRunStats",
     "ChaosScenario",
+    "cache_smoke",
     "chaos_smoke",
     "exp_breakdown",
+    "exp_cache",
     "exp_chaos",
+    "run_cache_case",
     "exp_fig3",
     "run_chaos_scenario",
     "exp_fig4",

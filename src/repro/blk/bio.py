@@ -164,8 +164,21 @@ class Request:
 
     @property
     def sequential(self) -> bool:
-        """Pattern hint (true if the head bio is sequential)."""
-        return self.bios[0].sequential
+        """Pattern hint for the whole request.
+
+        True when the head bio advertises a sequential stream, or when
+        merging built an LBA-contiguous multi-bio run — a random-write
+        burst that happened to land back-to-back *is* sequential at the
+        device, whatever each bio's own hint said.  (Reporting only the
+        head bio's hint starved the drivers' striping heuristics and the
+        cache tier's sequential cutoff of real merge information.)
+        """
+        bios = self.bios
+        if bios[0].sequential or len(bios) == 1:
+            return bios[0].sequential
+        return all(
+            bios[i].end_sector == bios[i + 1].sector for i in range(len(bios) - 1)
+        )
 
     def data(self) -> Optional[bytes]:
         """Concatenated write payload (None for reads or absent data)."""

@@ -1,0 +1,54 @@
+"""Client-side block cache tier (Open-CAS style).
+
+Sits between the blk-mq request layer and the distributed backend
+(:class:`repro.osd.rbd.RBDImage`): a cache-line store on a fast local
+device absorbs hot blocks so repeat touches never cross the fabric.
+
+* **modes** — pass-through / write-through / write-back / write-around
+  (:class:`CacheMode`);
+* **promotion** — always, or n-hit (insert only after *n* touches);
+* **cleaning** — NOP, ALRU-style aged flush, or ACP-style aggressive
+  flush of dirty write-back lines;
+* **sequential cutoff** — long contiguous streams bypass the cache so
+  scans cannot evict the hot random set;
+* **IO classification** — size/pattern classes with per-class occupancy
+  caps (the classifier hooks are pluggable for later pushdown work).
+
+Pass-through mode delegates every call untouched, so a stack built with
+it is event-identical to one built without a cache — the golden-trace
+harness holds either way.
+"""
+
+from .classify import IoClassRule, IoClassifier, IoDesc, default_classes
+from .config import CacheConfig, CacheMode, parse_cache_mode
+from .engine import CachedImage
+from .policy import (
+    AcpCleaning,
+    AlruCleaning,
+    AlwaysPromote,
+    NHitPromote,
+    NopCleaning,
+    make_cleaning,
+    make_promotion,
+)
+from .store import CacheLine, CacheLineStore
+
+__all__ = [
+    "AcpCleaning",
+    "AlruCleaning",
+    "AlwaysPromote",
+    "CacheConfig",
+    "CacheLine",
+    "CacheLineStore",
+    "CacheMode",
+    "CachedImage",
+    "IoClassRule",
+    "IoClassifier",
+    "IoDesc",
+    "NHitPromote",
+    "NopCleaning",
+    "default_classes",
+    "make_cleaning",
+    "make_promotion",
+    "parse_cache_mode",
+]

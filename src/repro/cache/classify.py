@@ -1,0 +1,95 @@
+"""IO classification: size/pattern classes with per-class occupancy caps.
+
+Mirrors Open-CAS's IO classifier in miniature: each IO is matched
+against an ordered rule list (first match wins) and the winning class
+bounds how much of the cache that kind of traffic may occupy.  Rules
+carry plain predicates, so later work (e.g. computational-storage
+pushdown tagging) can install its own classes without touching the
+cache engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..errors import CacheError
+from ..units import kib
+
+#: Fallback class for IOs no rule matches (never capped).
+OTHER_CLASS = "other"
+
+
+@dataclass(frozen=True)
+class IoDesc:
+    """What the classifier sees of one IO."""
+
+    op: str  # "read" | "write"
+    size: int  # bytes
+    #: Pattern hint: part of a detected or advertised sequential stream.
+    sequential: bool = False
+
+
+@dataclass(frozen=True)
+class IoClassRule:
+    """One classification rule: name, predicate, occupancy cap."""
+
+    name: str
+    match: Callable[[IoDesc], bool] = field(compare=False)
+    #: Max fraction of the cache's capacity this class may occupy
+    #: (1.0 = unlimited).  Enforced by evicting within the class.
+    occupancy_cap: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise CacheError("IO class needs a name")
+        if not 0.0 < self.occupancy_cap <= 1.0:
+            raise CacheError(
+                f"class {self.name!r}: occupancy_cap must be in (0, 1], "
+                f"got {self.occupancy_cap}"
+            )
+
+
+def default_classes() -> tuple[IoClassRule, ...]:
+    """The stock rule list: scans capped, small hot blocks unlimited.
+
+    Large sequential traffic (a table scan, a backup stream) is capped at
+    half the cache so it can never push the random working set out; small
+    random IOs — the latency-critical class — are uncapped.
+    """
+    return (
+        IoClassRule("seq-large", lambda io: io.sequential and io.size >= kib(128), 0.5),
+        IoClassRule("small", lambda io: io.size <= kib(16), 1.0),
+        IoClassRule("large", lambda io: io.size >= kib(256), 0.75),
+        IoClassRule("medium", lambda io: True, 1.0),
+    )
+
+
+class IoClassifier:
+    """Ordered first-match-wins classification over a rule list."""
+
+    def __init__(self, rules: Iterable[IoClassRule] = ()):
+        self.rules: tuple[IoClassRule, ...] = tuple(rules) or default_classes()
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise CacheError(f"duplicate IO class names: {names}")
+        if OTHER_CLASS in names:
+            raise CacheError(f"class name {OTHER_CLASS!r} is reserved for the fallback")
+        self._caps = {r.name: r.occupancy_cap for r in self.rules}
+        self._caps[OTHER_CLASS] = 1.0
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        """Every class a :meth:`classify` call can return."""
+        return tuple(r.name for r in self.rules) + (OTHER_CLASS,)
+
+    def classify(self, desc: IoDesc) -> str:
+        """Class name of one IO (first matching rule, else ``other``)."""
+        for rule in self.rules:
+            if rule.match(desc):
+                return rule.name
+        return OTHER_CLASS
+
+    def cap_lines(self, name: str, capacity_lines: int) -> int:
+        """Occupancy bound of a class in cache lines (at least 1)."""
+        return max(1, int(self._caps.get(name, 1.0) * capacity_lines))

@@ -1,0 +1,165 @@
+"""Cache-line store: LRU-ordered resident lines with dirty tracking.
+
+The store is pure bookkeeping — no simulation events, no backend I/O.
+Flushing and filling (which *do* take simulated time) live in
+:class:`repro.cache.engine.CachedImage`; the store only answers "what is
+resident, in what order, and what is dirty".  Iteration orders are
+dict-insertion deterministic, so seeded runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from ..errors import CacheError
+
+
+class CacheLine:
+    """One resident cache line."""
+
+    __slots__ = (
+        "line_id", "data", "dirty", "hits", "klass", "dirty_since_ns", "last_access_ns",
+    )
+
+    def __init__(self, line_id: int, data: bytearray, klass: str, now_ns: int):
+        self.line_id = line_id
+        #: Full line payload (clamped at the image tail).
+        self.data = data
+        self.dirty = False
+        #: Touches while resident (promotion/eviction telemetry).
+        self.hits = 0
+        #: IO class that inserted the line (per-class occupancy caps).
+        self.klass = klass
+        #: When the line first became dirty; -1 while clean (ALRU ages on it).
+        self.dirty_since_ns = -1
+        self.last_access_ns = now_ns
+
+    def mark_dirty(self, now_ns: int) -> None:
+        """Dirty the line (first dirtying records the ALRU age epoch)."""
+        if not self.dirty:
+            self.dirty = True
+            self.dirty_since_ns = now_ns
+
+    def mark_clean(self) -> None:
+        """Line flushed: contents now match the backend."""
+        self.dirty = False
+        self.dirty_since_ns = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "dirty" if self.dirty else "clean"
+        return f"<CacheLine {self.line_id} {state} {self.klass} hits={self.hits}>"
+
+
+class CacheLineStore:
+    """LRU map of resident lines plus per-class occupancy accounting."""
+
+    def __init__(self, capacity_lines: int):
+        if capacity_lines < 1:
+            raise CacheError(f"capacity_lines must be >= 1, got {capacity_lines}")
+        self.capacity_lines = capacity_lines
+        #: line_id -> line, LRU order (oldest first).
+        self._lines: "OrderedDict[int, CacheLine]" = OrderedDict()
+        self._class_occupancy: dict[str, int] = {}
+        self._dirty = 0
+
+    # -- inspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line_id: int) -> bool:
+        return line_id in self._lines
+
+    @property
+    def occupancy(self) -> int:
+        """Resident line count."""
+        return len(self._lines)
+
+    @property
+    def dirty_count(self) -> int:
+        """Resident dirty line count."""
+        return self._dirty
+
+    def class_occupancy(self, klass: str) -> int:
+        """Resident lines belonging to one IO class."""
+        return self._class_occupancy.get(klass, 0)
+
+    def lines_lru(self) -> Iterator[CacheLine]:
+        """Resident lines, least-recently-used first."""
+        return iter(list(self._lines.values()))
+
+    def dirty_lines_lru(self) -> list[CacheLine]:
+        """Dirty lines, least-recently-used first."""
+        return [line for line in self._lines.values() if line.dirty]
+
+    # -- access ------------------------------------------------------------------
+
+    def lookup(self, line_id: int, now_ns: int) -> Optional[CacheLine]:
+        """Resident line or None; a hit refreshes LRU position."""
+        line = self._lines.get(line_id)
+        if line is None:
+            return None
+        self._lines.move_to_end(line_id)
+        line.hits += 1
+        line.last_access_ns = now_ns
+        return line
+
+    def peek(self, line_id: int) -> Optional[CacheLine]:
+        """Resident line or None, *without* touching LRU state."""
+        return self._lines.get(line_id)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, line: CacheLine) -> None:
+        """Add a line (caller must have made room; never evicts)."""
+        if line.line_id in self._lines:
+            raise CacheError(f"line {line.line_id} already resident")
+        if len(self._lines) >= self.capacity_lines:
+            raise CacheError("cache full: evict before inserting")
+        self._lines[line.line_id] = line
+        self._class_occupancy[line.klass] = self._class_occupancy.get(line.klass, 0) + 1
+        if line.dirty:
+            self._dirty += 1
+
+    def remove(self, line_id: int) -> CacheLine:
+        """Drop a line from the store (flushing is the engine's job)."""
+        line = self._lines.pop(line_id, None)
+        if line is None:
+            raise CacheError(f"line {line_id} not resident")
+        self._class_occupancy[line.klass] -= 1
+        if line.dirty:
+            self._dirty -= 1
+        return line
+
+    def note_dirty(self, line: CacheLine, now_ns: int) -> None:
+        """Mark a resident line dirty (keeps the dirty count exact)."""
+        if not line.dirty:
+            self._dirty += 1
+            line.mark_dirty(now_ns)
+
+    def note_clean(self, line: CacheLine) -> None:
+        """Mark a resident line clean after a flush."""
+        if line.dirty:
+            self._dirty -= 1
+            line.mark_clean()
+
+    def victim(self, klass: Optional[str] = None) -> Optional[CacheLine]:
+        """Eviction candidate: LRU-first, optionally within one class."""
+        for line in self._lines.values():
+            if klass is None or line.klass == klass:
+                return line
+        return None
+
+    def drop_all(self) -> int:
+        """Invalidate every resident line; returns how many were dropped.
+
+        Dirty lines must be flushed first — dropping dirty data would
+        silently lose writes, so that is an error.
+        """
+        if self._dirty:
+            raise CacheError(f"cannot drop {self._dirty} dirty line(s); flush first")
+        dropped = len(self._lines)
+        self._lines.clear()
+        self._class_occupancy.clear()
+        return dropped

@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .bench import breakdown, experiments
+from .bench import breakdown, cachebench, experiments
 from .deliba import FRAMEWORKS, PoolSpec, build_framework, framework_by_name
 from .units import kib
 from .workloads import FioJob
@@ -22,6 +22,7 @@ from .workloads import FioJob
 #: Experiment name -> callable.
 EXPERIMENTS = {
     "breakdown": breakdown.exp_breakdown,
+    "cache": cachebench.exp_cache,
     "fig3": experiments.exp_fig3,
     "fig4": experiments.exp_fig4,
     "fig6": experiments.exp_fig6,
@@ -56,6 +57,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fio.add_argument("--seed", type=int, default=0)
     fio.add_argument("--metrics", action="store_true",
                      help="collect and print per-layer metrics after the run")
+    fio.add_argument("--cache-mode", metavar="MODE",
+                     help="interpose the client block cache: pt, wt, wb, or wa")
+    fio.add_argument("--cache-lines", type=int, default=512,
+                     help="cache capacity in lines (with --cache-mode)")
 
     exp = sub.add_parser("experiment", help="reproduce one paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
@@ -68,6 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--iodepth", nargs="+", type=int, default=[1, 4])
     sweep.add_argument("--pool", default="replicated", choices=["replicated", "erasure"])
     sweep.add_argument("--csv", help="also write the grid to this CSV path")
+
+    cache = sub.add_parser("cache", help="client block cache: mode sweep and invariants")
+    cache.add_argument("--smoke", action="store_true",
+                       help="seeded invariant run; exit nonzero if pass-through is not "
+                            "event-identical, the hit-ratio curve dips, skew does not "
+                            "help, or write-back loses to write-through on hot writes")
+    cache.add_argument("--seed", type=int, default=0)
+    cache.add_argument("--nrequests", type=int, default=300)
 
     chaos = sub.add_parser("chaos", help="fault-tolerance datapath under chaos injection")
     chaos.add_argument("--smoke", action="store_true",
@@ -136,8 +149,16 @@ def _cmd_fio(args) -> int:
     job = FioJob("cli", args.rw, bs=args.bs, iodepth=args.iodepth, nrequests=args.nrequests)
     pool = PoolSpec(kind=args.pool)
     object_size = job.bs if pool.kind == "erasure" else None
+    cache_cfg = None
+    if args.cache_mode:
+        from .cache import CacheConfig, parse_cache_mode
+
+        cache_cfg = CacheConfig(
+            mode=parse_cache_mode(args.cache_mode), capacity_lines=args.cache_lines
+        )
     fw = build_framework(
-        cfg, pool_spec=pool, object_size=object_size, seed=args.seed, metrics=args.metrics
+        cfg, pool_spec=pool, object_size=object_size, seed=args.seed, metrics=args.metrics,
+        cache=cache_cfg,
     )
     proc = fw.env.process(fw.run_fio(job), name=f"{cfg.name}:{job.name}")
     fw.env.run()
@@ -150,6 +171,11 @@ def _cmd_fio(args) -> int:
         print(f"  p{q:<12}: {result.percentile_latency_us(q):9.1f} us")
     print(f"  throughput   : {result.throughput_mb_s():9.1f} MB/s")
     print(f"  KIOPS        : {result.kiops():9.2f}")
+    if fw.cache is not None:
+        s = fw.cache.stats()
+        print(f"  cache [{s['mode']}]   : hit {100 * s['hit_ratio']:.1f}%  "
+              f"promotions {s['promotions']}  evictions {s['evictions']}  "
+              f"flushes {s['flushed_lines']}  bypasses {s['seq_bypasses']}")
     if args.metrics:
         print()
         print(fw.metrics.render(end_ns=fw.env.now))
@@ -172,6 +198,17 @@ def _cmd_chaos(args) -> int:
         print(report)
         return code
     print(exp_chaos(seed=args.seed).render())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .bench.cachebench import cache_smoke, exp_cache
+
+    if args.smoke:
+        code, report = cache_smoke(seed=args.seed, nreq=min(args.nrequests, 200))
+        print(report)
+        return code
+    print(exp_cache(seed=args.seed, nreq=args.nrequests).render())
     return 0
 
 
@@ -280,6 +317,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fio(args)
     if args.command == "experiment":
         return _cmd_experiment(args.name)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "golden":

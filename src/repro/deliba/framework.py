@@ -21,6 +21,7 @@ from ..api import (
     UringMode,
 )
 from ..blk import BlockLayer
+from ..cache import CacheConfig, CachedImage
 from ..driver import NbdConfig, NbdDriver, RbdKmodConfig, RbdKmodDriver, UifdConfig, UifdDriver
 from ..errors import BenchmarkError
 from ..fpga import Accelerator, AlveoU280, PcieLink, QdmaEngine, spec_by_name
@@ -82,6 +83,8 @@ class FrameworkInstance:
         self.rng = RngRegistry(cluster.spec.seed)
         #: Lifecycle tracer (populated when built with ``trace=True``).
         self.tracer: Optional[Tracer] = None
+        #: Client-side cache tier (populated when built with ``cache=...``).
+        self.cache: Optional[CachedImage] = None
         #: Stack-wide metrics registry (no-op unless built with ``metrics=True``).
         self.metrics: MetricsRegistry = metrics or NULL_METRICS
 
@@ -187,6 +190,7 @@ def build_framework(
     trace: bool = False,
     obs: bool = False,
     metrics: Union[bool, MetricsRegistry] = False,
+    cache: Optional[CacheConfig] = None,
 ) -> FrameworkInstance:
     """Assemble one generation of the stack over a fresh cluster.
 
@@ -204,6 +208,13 @@ def build_framework(
     parent/child edges at each layer hand-off, fan-out, and retry leg —
     the input to ``python -m repro profile``.  Neither tracer changes
     the simulated event stream.
+
+    ``cache=CacheConfig(...)`` interposes an Open-CAS-style client block
+    cache (:class:`repro.cache.CachedImage`) between the driver and the
+    RBD image; pass-through mode delegates untouched, so a PT cache is
+    event-identical to no cache at all.  On erasure pools the cache line
+    is forced to the object size (the EC datapath models whole-object
+    encode/decode, so line fills must be object-aligned).
     """
     pool_spec = pool_spec or PoolSpec()
     env = env or Environment()
@@ -228,6 +239,14 @@ def build_framework(
     if object_size is None:
         object_size = kib(4) if pool_spec.kind == "erasure" else mib(4)
     image = RBDImage("bench", image_size, pool, client, object_size=object_size)
+    cache_tier: Optional[CachedImage] = None
+    if cache is not None:
+        if pool_spec.kind == "erasure" and cache.line_size != object_size:
+            from dataclasses import replace
+
+            cache = replace(cache, line_size=object_size)
+        cache_tier = CachedImage(image, cache, metrics=registry)
+        image = cache_tier
     kernel = HostKernel(env)
     if obs:
         from ..obs.context import CausalTracer
@@ -282,6 +301,7 @@ def build_framework(
         metrics=registry,
     )
     fw.tracer = tracer
+    fw.cache = cache_tier
     return fw
 
 

@@ -104,5 +104,9 @@ class WorkloadError(ReproError):
     """Invalid workload specification."""
 
 
+class CacheError(ReproError):
+    """Client-side block cache misconfiguration or invariant violation."""
+
+
 class BenchmarkError(ReproError):
     """Experiment harness misconfiguration."""

@@ -51,7 +51,7 @@ class RadosClient(Messenger):
         #: Valid for ``_placement_epoch`` only; cleared on any map bump
         #: (including the OpPolicy failover refresh), so a stale epoch is
         #: never served.
-        self._placement_cache: dict[tuple[int, str], tuple[list[int], int]] = {}
+        self._placement_cache: dict[tuple[int, str], tuple[tuple[int, ...], int]] = {}
         self._codecs: dict[int, ReedSolomon] = {}
         self.policy = policy or DEFAULT_POLICY
         #: RNG substream for backoff jitter (None = no jitter).
@@ -80,7 +80,7 @@ class RadosClient(Messenger):
             self._codecs[pool.pool_id] = ReedSolomon(pool.k, pool.m)
         return self._codecs[pool.pool_id]
 
-    def compute_placement(self, pool: Pool, object_name: str) -> list[int]:
+    def compute_placement(self, pool: Pool, object_name: str) -> tuple[int, ...]:
         """Object -> acting set via CRUSH, memoized per map epoch.
 
         The per-client cache short-circuits the whole object->pg->OSD
@@ -88,9 +88,10 @@ class RadosClient(Messenger):
         touches of an object within one OSDMap epoch.  Any epoch bump —
         device out/in, reweight, or the OpPolicy failover refresh —
         clears it, so a cached acting set is never served across map
-        changes.  Returned lists are shared with the cache: callers must
-        treat them as read-only (they already did; the underlying
-        :class:`PlacementEngine` cache had the same contract).
+        changes.  The acting set is returned as a tuple: the cached
+        entry used to be the mutable list shared with every caller, so
+        one caller editing "its" result silently corrupted every later
+        lookup of that object for the rest of the epoch.
         """
         epoch = self.osdmap.epoch
         if self._placement_epoch != epoch:
@@ -105,9 +106,10 @@ class RadosClient(Messenger):
             self.last_was_miss = False
             self._m_place_hits.add()
             return acting
-        _pg, acting = self.placement.object_to_osds(
+        _pg, acting_list = self.placement.object_to_osds(
             pool.pool_id, object_name, pool.pg_num, pool.rule, pool.size
         )
+        acting = tuple(acting_list)
         ops = self.placement.mapper.last_ops
         self.last_placement_ops = ops
         # A client-cache miss may still be a PG-cache hit in the engine;

@@ -1,10 +1,11 @@
-"""Workload generators: fio-style synthetic, OLAP, and OLTP models."""
+"""Workload generators: fio-style synthetic, Zipf-skewed, OLAP, and OLTP models."""
 
 from .fio import RW_MODES, FioJob, paper_job
 from .olap import OlapWorkload
 from .oltp import OltpWorkload
 from .replay import dump_trace, load_trace, parse_trace
 from .runner import AppResult, run_olap, run_oltp
+from .zipf import ZipfJob
 
 __all__ = [
     "AppResult",
@@ -12,6 +13,7 @@ __all__ = [
     "OlapWorkload",
     "OltpWorkload",
     "RW_MODES",
+    "ZipfJob",
     "dump_trace",
     "load_trace",
     "paper_job",

@@ -1,0 +1,114 @@
+"""Zipf-skewed synthetic workload (cache-tier evaluation).
+
+A :class:`ZipfJob` issues block IOs whose block popularity follows a
+Zipf(theta) distribution over the working set — the canonical skewed
+pattern cache benchmarks use (fio's ``random_distribution=zipf``).  A
+handful of hot blocks absorb most of the traffic, so hit ratio responds
+sharply to cache capacity; ``theta=0`` degenerates to uniform random,
+making uniform-vs-skewed comparisons a one-knob sweep.
+
+Rank popularity is scattered over the address space with a seeded
+Fisher-Yates permutation (as fio does), so "hot" blocks are spread
+across the image rather than clustered at offset zero — without this, a
+sequential-cutoff or striping artifact could masquerade as cache skew.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from ..blk import SECTOR, Bio, IoOp
+from ..errors import WorkloadError
+from ..sim import RngStream
+from ..units import kib, mib
+
+
+@dataclass(frozen=True)
+class ZipfJob:
+    """One Zipf-skewed random job specification."""
+
+    name: str
+    rw: str = "randread"  # randread | randwrite | randrw
+    bs: int = kib(4)
+    iodepth: int = 1
+    size: int = mib(64)  # working-set bytes
+    nrequests: int = 200
+    #: Zipf exponent: 0 = uniform, ~0.99 = classic YCSB skew, higher =
+    #: hotter head.
+    theta: float = 0.99
+    rwmixread: float = 0.5
+    numjobs: int = 1
+
+    def __post_init__(self):
+        if self.rw not in ("randread", "randwrite", "randrw"):
+            raise WorkloadError(f"zipf job rw must be random, got {self.rw!r}")
+        if self.bs < SECTOR or self.bs % SECTOR:
+            raise WorkloadError(f"bs must be a positive sector multiple, got {self.bs}")
+        if self.size < self.bs:
+            raise WorkloadError(f"size {self.size} smaller than bs {self.bs}")
+        if self.iodepth < 1 or self.nrequests < 1:
+            raise WorkloadError("iodepth and nrequests must be >= 1")
+        if self.theta < 0:
+            raise WorkloadError(f"theta must be >= 0, got {self.theta}")
+        if not 0.0 <= self.rwmixread <= 1.0:
+            raise WorkloadError(f"rwmixread must be in [0, 1], got {self.rwmixread}")
+        if self.numjobs < 1:
+            raise WorkloadError(f"numjobs must be >= 1, got {self.numjobs}")
+
+    @property
+    def is_sequential(self) -> bool:
+        """Never — Zipf jobs are random by construction."""
+        return False
+
+    @property
+    def blocks(self) -> int:
+        """Number of block-aligned slots in the working set."""
+        return self.size // self.bs
+
+    def _cdf(self) -> list[float]:
+        """Cumulative Zipf(theta) popularity over ranks 0..blocks-1."""
+        weights = [1.0 / (rank + 1) ** self.theta for rank in range(self.blocks)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cdf.append(acc / total)
+        return cdf
+
+    def _scatter(self, rng: RngStream) -> list[int]:
+        """Seeded Fisher-Yates permutation: popularity rank -> block."""
+        perm = list(range(self.blocks))
+        for i in range(self.blocks - 1, 0, -1):
+            j = rng.randint(0, i)
+            perm[i], perm[j] = perm[j], perm[i]
+        return perm
+
+    def _op_for(self, rng: RngStream) -> IoOp:
+        if self.rw == "randread":
+            return IoOp.READ
+        if self.rw == "randwrite":
+            return IoOp.WRITE
+        return IoOp.READ if rng.uniform(0, 1) < self.rwmixread else IoOp.WRITE
+
+    def make_bios(self, rng: RngStream, payload_byte: int = 0x5A) -> list[Bio]:
+        """The deterministic bio stream for this job."""
+        cdf = self._cdf()
+        scatter = self._scatter(rng)
+        fill = bytes([payload_byte]) * self.bs
+        bios = []
+        for _ in range(self.nrequests):
+            rank = bisect_left(cdf, rng.uniform(0, 1))
+            block = scatter[min(rank, self.blocks - 1)]
+            op = self._op_for(rng)
+            bios.append(
+                Bio(
+                    op,
+                    sector=block * self.bs // SECTOR,
+                    size=self.bs,
+                    data=fill if op == IoOp.WRITE else None,
+                    sequential=False,
+                )
+            )
+        return bios

@@ -1,0 +1,87 @@
+"""Regression tests for two datapath bugs fixed alongside the cache tier.
+
+1. ``RadosClient.compute_placement`` returned the *same list object* it
+   memoized in the epoch-keyed placement cache, so a caller mutating its
+   "own" result corrupted every later lookup of that object within the
+   epoch (e.g. a failover path popping a dead primary would make the
+   cache forget the replica forever).
+2. ``Request.sequential`` reported only the head bio's hint, so a
+   request built by merging LBA-contiguous random bios — sequential at
+   the device by construction — was presented to the drivers and the
+   cache's sequential cutoff as random.
+"""
+
+from repro.blk import SECTOR, Bio, IoOp, Request
+from repro.osd import ClusterSpec, build_cluster
+from repro.sim import Environment
+from repro.units import kib
+
+
+def _cluster():
+    env = Environment()
+    return env, build_cluster(env, ClusterSpec(num_server_hosts=2, osds_per_host=4))
+
+
+# -- compute_placement aliasing ------------------------------------------------------
+
+
+def test_placement_result_is_immutable_tuple():
+    _env, cluster = _cluster()
+    pool = cluster.create_replicated_pool("p", pg_num=32, size=2)
+    client = cluster.new_client()
+    acting = client.compute_placement(pool, "obj0")
+    assert isinstance(acting, tuple)
+    assert len(acting) == pool.size
+
+
+def test_placement_cache_survives_caller_mutation_attempts():
+    _env, cluster = _cluster()
+    pool = cluster.create_replicated_pool("p", pg_num=32, size=2)
+    client = cluster.new_client()
+    first = client.compute_placement(pool, "obj0")
+    # The old list return let this silently poison the cache; a tuple
+    # refuses, and the cached entry stays intact either way.
+    mutated = list(first)
+    mutated.reverse()
+    mutated.pop()
+    second = client.compute_placement(pool, "obj0")
+    assert second == first
+    assert not client.last_was_miss  # served from the epoch cache
+
+
+def test_placement_cache_hit_returns_equal_set_across_calls():
+    _env, cluster = _cluster()
+    pool = cluster.create_replicated_pool("p", pg_num=32, size=3)
+    client = cluster.new_client()
+    results = [client.compute_placement(pool, f"o{i % 4}") for i in range(16)]
+    by_name: dict[int, tuple] = {}
+    for i, acting in enumerate(results):
+        assert by_name.setdefault(i % 4, acting) == acting
+
+
+# -- Request.sequential --------------------------------------------------------------
+
+
+def _bio(sector: int, *, seq: bool = False, op: IoOp = IoOp.READ) -> Bio:
+    return Bio(op, sector=sector, size=kib(4), sequential=seq)
+
+
+def test_merged_contiguous_random_bios_report_sequential():
+    bs_sectors = kib(4) // SECTOR
+    req = Request([_bio(80)])  # random hint
+    req.merge(_bio(80 + bs_sectors))
+    req.merge(_bio(80 + 2 * bs_sectors))
+    # Three back-to-back LBAs are one sequential run at the device,
+    # whatever each bio's own hint said.
+    assert req.sequential
+
+
+def test_single_random_bio_stays_random():
+    assert not Request([_bio(80)]).sequential
+
+
+def test_hinted_head_bio_stays_sequential():
+    req = Request([_bio(0, seq=True)])
+    assert req.sequential
+    req.merge(_bio(kib(4) // SECTOR, seq=True))
+    assert req.sequential

@@ -1,0 +1,303 @@
+"""Cache tier: store/policy/classifier units and engine semantics.
+
+The engine tests drive a :class:`CachedImage` directly over a small
+cluster (no full framework) so every mode's datapath is exercised fast;
+the framework-level integration (PT golden identity, capacity curve,
+WB-vs-WT) lives in ``repro.bench.cachebench`` and its CI smoke.
+"""
+
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    CacheMode,
+    CachedImage,
+    CacheLine,
+    CacheLineStore,
+    IoClassifier,
+    IoClassRule,
+    IoDesc,
+    NHitPromote,
+    parse_cache_mode,
+)
+from repro.cache.engine import StreamDetector
+from repro.errors import CacheError
+from repro.osd import ClusterSpec, RBDImage, build_cluster
+from repro.sim import Environment, RngStream
+from repro.units import kib, mib
+from repro.workloads import ZipfJob
+
+ALL_MODES = (
+    CacheMode.PASS_THROUGH,
+    CacheMode.WRITE_THROUGH,
+    CacheMode.WRITE_BACK,
+    CacheMode.WRITE_AROUND,
+)
+
+
+def small_image(object_size=mib(1), image_size=mib(8)):
+    env = Environment()
+    cluster = build_cluster(env, ClusterSpec(num_server_hosts=2, osds_per_host=4))
+    pool = cluster.create_replicated_pool("rbd", pg_num=32, size=2)
+    client = cluster.new_client()
+    return env, cluster, RBDImage("vm", image_size, pool, client, object_size=object_size)
+
+
+def cached(mode, env, image, **kw):
+    kw.setdefault("line_size", kib(16))
+    kw.setdefault("capacity_lines", 32)
+    return CachedImage(image, CacheConfig(mode=mode, **kw))
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run()
+    if not p.ok:
+        raise p.value
+    return p.value
+
+
+# -- store units ---------------------------------------------------------------------
+
+
+def _line(line_id, klass="small", size=kib(16)):
+    return CacheLine(line_id, bytearray(size), klass, 0)
+
+
+def test_store_lru_order_tracks_lookups():
+    store = CacheLineStore(4)
+    for i in range(3):
+        store.insert(_line(i))
+    store.lookup(0, now_ns=10)  # refresh 0 -> order 1, 2, 0
+    assert [ln.line_id for ln in store.lines_lru()] == [1, 2, 0]
+    assert store.victim().line_id == 1
+
+
+def test_store_victim_within_class():
+    store = CacheLineStore(4)
+    store.insert(_line(0, "small"))
+    store.insert(_line(1, "large"))
+    store.insert(_line(2, "small"))
+    assert store.victim("large").line_id == 1
+    assert store.class_occupancy("small") == 2
+
+
+def test_store_dirty_accounting_exact():
+    store = CacheLineStore(4)
+    store.insert(_line(0))
+    line = store.peek(0)
+    store.note_dirty(line, 5)
+    store.note_dirty(line, 9)  # idempotent
+    assert store.dirty_count == 1
+    assert line.dirty_since_ns == 5
+    store.note_clean(line)
+    store.note_clean(line)
+    assert store.dirty_count == 0
+
+
+def test_store_refuses_overfill_and_dirty_drop():
+    store = CacheLineStore(1)
+    store.insert(_line(0))
+    with pytest.raises(CacheError):
+        store.insert(_line(1))
+    store.note_dirty(store.peek(0), 1)
+    with pytest.raises(CacheError):
+        store.drop_all()
+    store.note_clean(store.peek(0))
+    assert store.drop_all() == 1
+    assert store.occupancy == 0
+
+
+# -- classifier / config / policy units ----------------------------------------------
+
+
+def test_classifier_first_match_and_fallback():
+    clf = IoClassifier()
+    assert clf.classify(IoDesc("read", kib(4))) == "small"
+    assert clf.classify(IoDesc("read", kib(256), sequential=True)) == "seq-large"
+    assert clf.classify(IoDesc("write", kib(64))) == "medium"
+    nomatch = IoClassifier((IoClassRule("tiny", lambda io: io.size < 512),))
+    assert nomatch.classify(IoDesc("read", kib(4))) == "other"
+
+
+def test_classifier_caps_floor_at_one_line():
+    clf = IoClassifier((IoClassRule("scan", lambda io: True, occupancy_cap=0.01),))
+    assert clf.cap_lines("scan", 8) == 1
+    assert clf.cap_lines("other", 8) == 8
+
+
+def test_config_validation():
+    with pytest.raises(CacheError):
+        CacheConfig(line_size=1000)  # not a sector multiple
+    with pytest.raises(CacheError):
+        CacheConfig(promotion="sometimes")
+    with pytest.raises(CacheError):
+        CacheConfig(cleaning="eager")
+    assert parse_cache_mode("write-back") is CacheMode.WRITE_BACK
+    with pytest.raises(CacheError):
+        parse_cache_mode("wbx")
+
+
+def test_nhit_promotes_at_threshold():
+    pol = NHitPromote(threshold=3)
+    assert not pol.should_promote(7)
+    assert not pol.should_promote(7)
+    assert pol.should_promote(7)
+
+
+def test_stream_detector_accumulates_contiguous_runs():
+    det = StreamDetector(max_streams=2)
+    assert det.update(0, kib(64)) == kib(64)
+    assert det.update(kib(64), kib(64)) == kib(128)
+    assert det.update(mib(4), kib(4)) == kib(4)  # unrelated stream
+    assert det.update(kib(128), kib(64)) == kib(192)  # first stream continues
+
+
+# -- engine semantics ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+def test_read_your_writes_byte_identical(mode):
+    env, _cluster, image = small_image()
+    c = cached(mode, env, image, cleaning="nop")
+    base = kib(16) - 512  # straddle a line boundary
+    payload = bytes(range(256)) * 8  # 2 KiB
+    run(env, c.write(base, payload))
+    assert run(env, c.read(base, len(payload))) == payload
+    # Partial overwrite inside a resident line.
+    run(env, c.write(base + 512, b"\xC3" * 1024))
+    got = run(env, c.read(base, len(payload)))
+    assert got[:512] == payload[:512]
+    assert got[512:1536] == b"\xC3" * 1024
+    assert got[1536:] == payload[1536:]
+
+
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+def test_flush_makes_backend_agree(mode):
+    env, _cluster, image = small_image()
+    c = cached(mode, env, image, cleaning="nop")
+    for i in range(6):
+        run(env, c.write(i * kib(16), bytes([i + 1]) * kib(16)))
+    run(env, c.flush())
+    for i in range(6):
+        assert run(env, image.read(i * kib(16), kib(16))) == bytes([i + 1]) * kib(16)
+
+
+def test_eviction_respects_capacity_and_preserves_data():
+    env, _cluster, image = small_image()
+    c = cached(CacheMode.WRITE_BACK, env, image, capacity_lines=8, cleaning="nop")
+    for i in range(24):
+        run(env, c.write(i * kib(16), bytes([i + 1]) * kib(16)))
+    assert c.store.occupancy <= 8
+    assert c.evictions > 0 and c.dirty_evictions > 0
+    for i in range(24):  # evicted dirty lines were flushed, not lost
+        assert run(env, c.read(i * kib(16), kib(16))) == bytes([i + 1]) * kib(16)
+
+
+def test_sequential_cutoff_bypasses_and_keeps_cache_cold():
+    env, _cluster, image = small_image()
+    c = cached(
+        CacheMode.WRITE_THROUGH, env, image,
+        seq_cutoff_bytes=kib(64), capacity_lines=64,
+    )
+    for i in range(16):  # one long contiguous read stream
+        run(env, c.read(i * kib(16), kib(16)))
+    assert c.seq_bypasses > 0
+    # Only the pre-cutoff head of the stream was promoted.
+    assert c.store.occupancy <= 4
+
+
+def test_bypass_read_never_skips_dirty_data():
+    env, _cluster, image = small_image()
+    c = cached(
+        CacheMode.WRITE_BACK, env, image,
+        seq_cutoff_bytes=kib(32), cleaning="nop",
+    )
+    run(env, c.write(kib(64), b"\xBE" * kib(16)))  # dirty, unflushed
+    # A contiguous scan over the dirty range: the cutoff must not serve
+    # the stale backend copy.
+    got = [run(env, c.read(i * kib(16), kib(16))) for i in range(8)]
+    assert got[4] == b"\xBE" * kib(16)
+
+
+def test_write_around_updates_backend_and_resident_copy():
+    env, _cluster, image = small_image()
+    c = cached(CacheMode.WRITE_AROUND, env, image, seq_cutoff_bytes=0)
+    run(env, c.read(0, kib(16)))  # promote the line
+    run(env, c.write(0, b"\x77" * kib(16)))
+    assert c.store.dirty_count == 0  # WA never dirties
+    assert run(env, image.read(0, kib(16))) == b"\x77" * kib(16)  # backend current
+    assert run(env, c.read(0, kib(16))) == b"\x77" * kib(16)  # resident copy too
+
+
+def test_pass_through_touches_no_cache_state():
+    env, _cluster, image = small_image()
+    c = cached(CacheMode.PASS_THROUGH, env, image)
+    run(env, c.write(0, b"\x11" * kib(16)))
+    assert run(env, c.read(0, kib(16))) == b"\x11" * kib(16)
+    s = c.stats()
+    assert s["read_hits"] + s["read_misses"] + s["write_hits"] + s["write_misses"] == 0
+    assert c.store.occupancy == 0
+
+
+def test_promotion_nhit_delays_insertion():
+    env, _cluster, image = small_image()
+    c = cached(
+        CacheMode.WRITE_THROUGH, env, image,
+        promotion="nhit", promotion_hit_threshold=2, seq_cutoff_bytes=0,
+    )
+    run(env, c.read(0, kib(16)))
+    assert c.store.occupancy == 0 and c.promotion_rejects == 1
+    run(env, c.read(0, kib(16)))
+    assert c.store.occupancy == 1  # second touch promotes
+
+
+def test_class_occupancy_cap_enforced():
+    env, _cluster, image = small_image()
+    rules = (IoClassRule("small", lambda io: io.size <= kib(16), 0.25),)
+    c = cached(
+        CacheMode.WRITE_THROUGH, env, image,
+        capacity_lines=16, io_classes=rules, seq_cutoff_bytes=0,
+    )
+    for i in range(12):
+        run(env, c.read(i * kib(16), kib(16)))
+    # 25% of 16 lines = 4: the scan may hold at most that many.
+    assert c.store.class_occupancy("small") <= 4
+
+
+def test_epoch_bump_invalidates_resident_lines():
+    env, cluster, image = small_image()
+    c = cached(CacheMode.WRITE_BACK, env, image, cleaning="nop", seq_cutoff_bytes=0)
+    run(env, c.write(0, b"\x42" * kib(16)))
+    assert c.store.occupancy == 1 and c.store.dirty_count == 1
+    cluster.osdmap.mark_down(0)
+    cluster.osdmap.mark_up(0)
+    assert run(env, c.read(0, kib(16))) == b"\x42" * kib(16)
+    assert c.epoch_invalidations >= 1
+    # The dirty line was flushed (not dropped) before invalidation.
+    assert c.flushed_lines >= 1
+
+
+# -- hit-ratio behavior --------------------------------------------------------------
+
+
+def _replay_hit_ratio(theta: float, capacity_lines: int = 24, nreq: int = 300) -> float:
+    env, _cluster, image = small_image()
+    c = cached(
+        CacheMode.WRITE_THROUGH, env, image,
+        line_size=kib(4), capacity_lines=capacity_lines, seq_cutoff_bytes=0,
+    )
+    job = ZipfJob(name="z", rw="randread", bs=kib(4), size=mib(4), nrequests=nreq, theta=theta)
+    bios = job.make_bios(RngStream(0, "zipf-test"))
+    for bio in bios:
+        run(env, c.read(bio.offset, bio.size))
+    return c.hit_ratio()
+
+
+def test_zipf_hit_ratio_beats_uniform():
+    assert _replay_hit_ratio(theta=1.1) > _replay_hit_ratio(theta=0.0)
+
+
+def test_hit_ratio_monotone_in_capacity():
+    ratios = [_replay_hit_ratio(theta=0.99, capacity_lines=n) for n in (8, 32, 128)]
+    assert ratios == sorted(ratios)

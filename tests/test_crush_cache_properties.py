@@ -43,7 +43,9 @@ def fresh_placement(osdmap, pool, name):
     _pg, acting = PlacementEngine(osdmap.crush).object_to_osds(
         pool.pool_id, name, pool.pg_num, pool.rule, pool.size
     )
-    return acting
+    # The client returns an immutable tuple (its cached entry must not
+    # alias caller-visible state); compare values in the same shape.
+    return tuple(acting)
 
 
 @st.composite
