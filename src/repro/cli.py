@@ -89,6 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--nrequests", type=int, default=300)
 
+    recov = sub.add_parser("recover", help="online self-healing: kill/revive under client IO")
+    recov.add_argument("--smoke", action="store_true",
+                       help="seeded kill+revive run (replicated and EC); exit nonzero on "
+                            "any client hard-failure, read mismatch, dirty scrub, or "
+                            "run divergence")
+    recov.add_argument("--seed", type=int, default=0)
+    recov.add_argument("--nobjects", type=int, default=24)
+
     gold = sub.add_parser("golden", help="check canonical runs against recorded digests")
     gold.add_argument("--update", action="store_true",
                       help="re-record the digests instead of checking them")
@@ -212,6 +220,17 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    from .bench.recovery import exp_recovery, recover_smoke
+
+    if args.smoke:
+        code, report = recover_smoke(seed=args.seed, nobjects=min(args.nobjects, 12))
+        print(report)
+        return code
+    print(exp_recovery(seed=args.seed).render())
+    return 0
+
+
 def _cmd_golden(args) -> int:
     from .bench import golden
 
@@ -321,6 +340,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "golden":
         return _cmd_golden(args)
     if args.command == "sweep":

@@ -16,8 +16,9 @@ from .monitor import Monitor, RecoveryStats
 from .policy import DEFAULT_POLICY, OpPolicy
 from .objects import ObjectStore
 from .ops import OP_HEADER_BYTES, OpKind, OsdOp, OsdReply
-from .osd import OsdConfig, OsdDaemon, shard_object_name
+from .osd import OsdConfig, OsdDaemon, base_object_name, shard_object_name
 from .osdmap import OSDMap, OsdState, Pool, PoolType
+from .recovery import PGInfo, PGState, RecoveryConfig, RecoveryManager
 from .rbd import DEFAULT_OBJECT_SIZE, Extent, RBDImage
 from .storage import HDD, NVME_SSD, PROFILES, SATA_SSD, SMR_HDD, MediaProfile, StorageDevice
 
@@ -52,15 +53,20 @@ __all__ = [
     "OsdOp",
     "OsdReply",
     "OsdState",
+    "PGInfo",
+    "PGState",
     "PROFILES",
     "Pool",
     "PoolType",
+    "RecoveryConfig",
+    "RecoveryManager",
     "RBDImage",
     "RadosClient",
     "RecoveryStats",
     "SATA_SSD",
     "SMR_HDD",
     "StorageDevice",
+    "base_object_name",
     "build_cluster",
     "shard_object_name",
 ]

@@ -67,7 +67,11 @@ class RadosClient(Messenger):
         self.timeouts = 0
         self.failovers = 0
         self.degraded_reads = 0
+        #: Ops issued against an acting set with CRUSH holes (the pool
+        #: is running below its redundancy target — degraded IO).
+        self.degraded_placements = 0
         metrics = metrics or NULL_METRICS
+        self._m_degraded_placements = metrics.counter("client.degraded_placements")
         self._m_retries = metrics.counter("client.retries")
         self._m_timeouts = metrics.counter("client.timeouts")
         self._m_failovers = metrics.counter("client.failovers")
@@ -105,6 +109,9 @@ class RadosClient(Messenger):
             self.last_placement_ops = ops
             self.last_was_miss = False
             self._m_place_hits.add()
+            if CRUSH_ITEM_NONE in acting:
+                self.degraded_placements += 1
+                self._m_degraded_placements.add()
             return acting
         _pg, acting_list = self.placement.object_to_osds(
             pool.pool_id, object_name, pool.pg_num, pool.rule, pool.size
@@ -117,6 +124,9 @@ class RadosClient(Messenger):
         self.last_was_miss = self.placement.last_was_miss
         self._placement_cache[key] = (acting, ops)
         self._m_place_misses.add()
+        if CRUSH_ITEM_NONE in acting:
+            self.degraded_placements += 1
+            self._m_degraded_placements.add()
         return acting
 
     # -- retry bookkeeping ---------------------------------------------------------
@@ -187,6 +197,7 @@ class RadosClient(Messenger):
         ops: dict[int, OsdOp] = {}  # target -> op, reused across attempts
         done: set[int] = set()
         primary_op: Optional[OsdOp] = None
+        group_version = 0
         last = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
@@ -217,6 +228,12 @@ class RadosClient(Messenger):
                             sequential=sequential,
                             epoch=self.osdmap.epoch,
                         )
+                        # All replicas of one logical write share one
+                        # mutation version (the first sub-op's id), so
+                        # recovery peering sees the copies as equals.
+                        if group_version == 0:
+                            group_version = op.op_id
+                        op.version = group_version
                         ops[target] = op
                     else:
                         op.epoch = self.osdmap.epoch
@@ -349,6 +366,7 @@ class RadosClient(Messenger):
         shard_ops: dict[tuple[int, int], OsdOp] = {}  # (rank, target) -> op
         written: dict[int, int] = {}  # rank -> target that acked
         primary_op: Optional[OsdOp] = None
+        group_version = 0
         last = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
@@ -386,6 +404,10 @@ class RadosClient(Messenger):
                             sequential=sequential,
                             epoch=self.osdmap.epoch,
                         )
+                        # One version across all shards of this write.
+                        if group_version == 0:
+                            group_version = op.op_id
+                        op.version = group_version
                         shard_ops[key] = op
                     else:
                         op.epoch = self.osdmap.epoch

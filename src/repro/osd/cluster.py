@@ -87,7 +87,11 @@ class CephCluster:
         self.fabric.register("mon", self.server_hosts[0], KERNEL_TCP)
         mon_messenger = Messenger(env, self.fabric, "mon")
         mon_messenger.start()
-        self.monitor = Monitor(env, self.osdmap, self.daemons, messenger=mon_messenger)
+        self.monitor = Monitor(
+            env, self.osdmap, self.daemons, messenger=mon_messenger, metrics=metrics
+        )
+        #: Online self-healing manager; None until enable_recovery().
+        self.recovery = None
         self._clients: dict[str, RadosClient] = {}
         #: registry of written objects for recovery/scrub helpers:
         #: name -> (pool_id, length)
@@ -158,8 +162,29 @@ class CephCluster:
         )
         daemon.start()
         self.daemons[dev_id] = daemon
-        self.osdmap.epoch += 1
+        if self.recovery is not None:
+            daemon.recovery_ledger = self.recovery
+        self.osdmap.bump()
         return dev_id
+
+    # -- self-healing --------------------------------------------------------------
+
+    def enable_recovery(self, config=None, tracer=None):
+        """Turn on the online self-healing subsystem (PG state machine,
+        peering, background recovery agents — see ``repro.osd.recovery``).
+
+        Off by default so fault-free runs stay event-identical; once
+        enabled, every OSDMap epoch bump triggers PG peering and any
+        missing copies are backfilled through the fabric while client IO
+        continues.  Returns the :class:`~repro.osd.recovery.RecoveryManager`.
+        """
+        from .recovery import RecoveryManager
+
+        if self.recovery is None:
+            self.recovery = RecoveryManager(
+                self.env, self, config, metrics=self.metrics, tracer=tracer
+            )
+        return self.recovery
 
     # -- failure injection --------------------------------------------------------
 

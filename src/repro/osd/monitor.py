@@ -8,15 +8,20 @@ new acting sets.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Generator
 
 from ..crush import CRUSH_ITEM_NONE, PlacementEngine
 from ..errors import StorageError
-from ..sim import Environment
+from ..sim import NULL_METRICS, Environment
 from .ops import OpKind, OsdOp
 from .osd import OsdDaemon, shard_object_name
 from .osdmap import OSDMap, Pool, PoolType
+
+#: Most recent failure detections remembered (bounded: a long chaos run
+#: with flapping links must not grow monitor state without limit).
+FAILURES_DETECTED_CAP = 1024
 
 
 @dataclass
@@ -26,6 +31,8 @@ class RecoveryStats:
     objects_examined: int = 0
     objects_recovered: int = 0
     bytes_moved: int = 0
+    #: EC objects skipped because fewer than k shards survive anywhere.
+    unrecoverable: int = 0
 
 
 class Monitor:
@@ -34,17 +41,29 @@ class Monitor:
     When given a fabric messenger (the ``mon`` entity), the monitor can
     run **heartbeats**: periodic PING ops to every up OSD; an OSD that
     misses its reply deadline is declared down (epoch bump), so failures
-    are *detected*, not just operator-injected.
+    are *detected*, not just operator-injected.  ``down_out_interval_ns``
+    adds flap damping: an OSD is only marked down after failing probes
+    continuously for that long (0 = first miss, the historical default).
     """
 
     def __init__(self, env: Environment, osdmap: OSDMap, daemons: dict[int, OsdDaemon],
-                 messenger=None):
+                 messenger=None, metrics=None, down_out_interval_ns: int = 0):
         self.env = env
         self.osdmap = osdmap
         self.daemons = daemons
         self.messenger = messenger
+        self.down_out_interval_ns = down_out_interval_ns
         self._heartbeat_proc = None
-        self.failures_detected: list[int] = []
+        self._hb_running = False
+        #: osd_id -> sim time of the first unanswered probe of the
+        #: current suspicion window (cleared when a probe succeeds).
+        self._suspect_since: dict[int, int] = {}
+        self.failures_detected: deque[int] = deque(maxlen=FAILURES_DETECTED_CAP)
+        self.flaps_suppressed = 0
+        metrics = metrics or NULL_METRICS
+        self._m_failures = metrics.counter("mon.failures_detected")
+        self._m_flaps = metrics.counter("mon.flaps_suppressed")
+        self._m_hb_rtt = metrics.distribution("mon.heartbeat_rtt_ns")
 
     # -- heartbeats --------------------------------------------------------------
 
@@ -55,38 +74,51 @@ class Monitor:
             raise StorageError("heartbeats need a fabric messenger (mon entity)")
         if self._heartbeat_proc is not None:
             raise StorageError("heartbeats already running")
+        self._hb_running = True
         self._heartbeat_proc = self.env.process(
             self._heartbeat_loop(interval_ns, grace_ns), name="mon.heartbeat"
         )
 
     def stop_heartbeats(self) -> None:
-        """Stop the probe loop."""
+        """Stop the probe loop (in-flight probes drain without effect)."""
+        self._hb_running = False
         if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
             self._heartbeat_proc.interrupt("stopped")
         self._heartbeat_proc = None
 
     def _heartbeat_loop(self, interval_ns: int, grace_ns: int):
-        from .ops import OpKind, OsdOp  # local import avoids a cycle at module load
-
         while True:
             yield self.env.timeout(interval_ns)
-            probes = {
-                osd_id: self.env.process(
-                    self.messenger.call(
-                        f"osd.{osd_id}", OsdOp(OpKind.PING, 0, "ping"), timeout_ns=grace_ns
-                    ),
-                    name=f"hb.{osd_id}",
-                )
-                for osd_id in self.osdmap.up_osds()
-            }
-            if not probes:
-                continue
-            results = yield self.env.all_of(list(probes.values()))
-            for osd_id, proc in probes.items():
-                reply = results[proc]
-                if not reply.ok and self.osdmap.osds[osd_id].up:
-                    self.osdmap.mark_down(osd_id)
-                    self.failures_detected.append(osd_id)
+            # Each probe resolves independently: one hung OSD's grace
+            # window must not delay marking every *other* dead OSD down
+            # (the old all_of barrier head-of-line blocked on the
+            # slowest probe).
+            for osd_id in self.osdmap.up_osds():
+                self.env.process(self._probe_one(osd_id, grace_ns), name=f"hb.{osd_id}")
+
+    def _probe_one(self, osd_id: int, grace_ns: int):
+        t0 = self.env.now
+        reply = yield from self.messenger.call(
+            f"osd.{osd_id}", OsdOp(OpKind.PING, 0, "ping"), timeout_ns=grace_ns
+        )
+        if not self._hb_running:
+            return
+        if reply.ok:
+            self._m_hb_rtt.record(self.env.now - t0)
+            if self._suspect_since.pop(osd_id, None) is not None:
+                # Probes recovered before down_out_interval elapsed: the
+                # flap is damped, no epoch is published.
+                self.flaps_suppressed += 1
+                self._m_flaps.add()
+            return
+        if not self.osdmap.osds[osd_id].up:
+            return
+        since = self._suspect_since.setdefault(osd_id, t0)
+        if self.env.now - since >= self.down_out_interval_ns:
+            self._suspect_since.pop(osd_id, None)
+            self.osdmap.mark_down(osd_id)
+            self.failures_detected.append(osd_id)
+            self._m_failures.add()
 
     def fail_osd(self, osd_id: int) -> None:
         """Declare an OSD dead: stop its daemon and publish a new epoch."""
@@ -97,11 +129,19 @@ class Monitor:
         self.osdmap.mark_down(osd_id)
 
     def revive_osd(self, osd_id: int) -> None:
-        """Bring a previously failed OSD back (empty store, must backfill)."""
+        """Bring a previously failed OSD back (empty store, must backfill).
+
+        The store really is cleared: writes continued while the OSD was
+        out, so its pre-failure content is stale and serving it would be
+        silent data loss.  Until backfill completes the daemon answers
+        absent reads with a retryable "missing during backfill" error
+        (clients fail over) instead of authoritative absence."""
         daemon = self.daemons.get(osd_id)
         if daemon is None:
             raise StorageError(f"unknown osd.{osd_id}")
+        daemon.reset_for_backfill()
         daemon.start()
+        self._suspect_since.pop(osd_id, None)
         self.osdmap.mark_up(osd_id)
 
     def recover_pool(self, pool: Pool, helper_daemon: OsdDaemon) -> Generator:
@@ -128,10 +168,16 @@ class Monitor:
             if pool.pool_type == PoolType.REPLICATED:
                 moved = yield from self._recover_replicated(name, acting, live, helper_daemon)
             else:
-                moved = yield from self._recover_ec(pool, name, acting, live, helper_daemon)
+                moved = yield from self._recover_ec(
+                    pool, name, acting, live, helper_daemon, stats
+                )
             if moved:
                 stats.objects_recovered += 1
                 stats.bytes_moved += moved
+        # A full pass restored every recoverable object, so revived-empty
+        # members are populated: absent now really means "never existed".
+        for daemon in live.values():
+            daemon.backfill_reserve = False
         return stats
 
     def _recover_replicated(self, name, acting, live, helper) -> Generator:
@@ -157,7 +203,7 @@ class Monitor:
             moved += len(data)
         return moved
 
-    def _recover_ec(self, pool: Pool, name, acting, live, helper) -> Generator:
+    def _recover_ec(self, pool: Pool, name, acting, live, helper, stats) -> Generator:
         codec = helper.codec_for(pool.pool_id)
         # Gather surviving shards from live OSDs.
         shards: list = [None] * pool.size
@@ -169,7 +215,10 @@ class Monitor:
                     break
         present = sum(1 for s in shards if s is not None)
         if present < pool.k:
-            raise StorageError(f"object {name!r} unrecoverable: {present} < k={pool.k}")
+            # Unrecoverable (fewer than k shards survive anywhere): skip
+            # and count rather than aborting the whole pass mid-pool.
+            stats.unrecoverable += 1
+            return 0
         moved = 0
         for rank, target in enumerate(acting):
             if target == CRUSH_ITEM_NONE or target not in live:

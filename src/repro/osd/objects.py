@@ -91,6 +91,14 @@ class ObjectStore:
             chunk += b"\x00" * (length - len(chunk))
         return chunk
 
+    def clear(self) -> None:
+        """Drop every object and checksum (a revived OSD starts empty:
+        its pre-failure content is stale and must be backfilled)."""
+        self._objects.clear()
+        self._checksums.clear()
+        self._dirty.clear()
+        self._used = 0
+
     def delete(self, name: str) -> None:
         """Remove an object."""
         buf = self._objects.get(name)

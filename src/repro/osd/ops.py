@@ -28,6 +28,9 @@ class OpKind(Enum):
     EC_READ = "ec_read"  # EC read via primary (primary gathers + decodes)
     DELETE = "delete"
     PING = "ping"  # liveness probe (heartbeats)
+    PG_LIST = "pg_list"  # peering: list one PG's store keys + versions
+    PULL = "pull"  # recovery: read a full store key (data + version)
+    PUSH = "push"  # recovery: version-guarded whole-object install
 
 
 @dataclass
@@ -47,6 +50,12 @@ class OsdOp:
     #: Write-pattern hint for the media model.
     sequential: bool = False
     epoch: int = 0
+    #: Mutation version (PUSH carries the version the data was pulled
+    #: at; replica sub-ops carry the parent op's id so every copy of one
+    #: logical write records the same version).  0 = use the op's own id.
+    version: int = 0
+    #: PG index for PG_LIST peering ops.
+    pg: int = -1
     #: Causal span of the attempt leg carrying this op (repro.obs);
     #: travels with the message so the serving OSD can attach its
     #: queue/service sub-spans.  Never serialized or compared.
@@ -71,6 +80,15 @@ class OsdReply:
     #: replies default to IOERR unless the sender classified them
     #: (TIMEOUT, TRANSPORT, MEDIUM).
     status: BlkStatus = BlkStatus.OK
+    #: Version of the returned object (PULL replies).
+    version: int = 0
+    #: Peering listing for PG_LIST replies: store key -> (version, size).
+    listing: Optional[dict[str, tuple[int, int]]] = None
+    #: PUSH replies: the install was skipped because local data is newer.
+    stale: bool = False
+
+    #: Serialized bytes per peering listing entry (key + version + size).
+    LISTING_ENTRY_BYTES = 64
 
     def __post_init__(self):
         if not self.ok and self.status is BlkStatus.OK:
@@ -78,4 +96,7 @@ class OsdReply:
 
     def wire_size(self) -> int:
         """Bytes this reply occupies on the network."""
-        return OP_HEADER_BYTES + (len(self.data) if self.data is not None else 0)
+        size = OP_HEADER_BYTES + (len(self.data) if self.data is not None else 0)
+        if self.listing is not None:
+            size += self.LISTING_ENTRY_BYTES * len(self.listing)
+        return size

@@ -79,10 +79,33 @@ _MUTATING_KINDS = frozenset(
     }
 )
 
+#: Client mutations that must wait behind recovery of their object: a
+#: write applied over a missing base could be clobbered (or clobber)
+#: when the backfill push lands, so the PG gate holds them until the
+#: object is recovered on this OSD.  Recovery's own PUSH/DELETE ops are
+#: exempt — they *are* the recovery traffic the gate waits for.
+_GATED_KINDS = frozenset(
+    {
+        OpKind.WRITE,
+        OpKind.WRITE_DIRECT,
+        OpKind.REP_WRITE,
+        OpKind.SHARD_WRITE,
+        OpKind.EC_WRITE,
+    }
+)
+
 
 def shard_object_name(object_name: str, shard: int) -> str:
     """Object-store key of one EC shard."""
     return f"{object_name}.s{shard}"
+
+
+def base_object_name(store_key: str) -> str:
+    """Logical object name of a store key (strips an EC-shard suffix)."""
+    head, sep, tail = store_key.rpartition(".s")
+    if sep and tail.isdigit():
+        return head
+    return store_key
 
 
 class OsdDaemon(Messenger):
@@ -106,6 +129,19 @@ class OsdDaemon(Messenger):
         self.store = ObjectStore()
         self.cpu = Resource(env, capacity=self.config.op_threads, name=f"osd.{osd_id}.workers")
         self.ops_served = 0
+        #: store key -> version of the last applied mutation (pglog).  A
+        #: version is the op_id of the logical client write (replica and
+        #: shard sub-ops inherit the parent's id), so recovery pushes can
+        #: be ordered against writes made while they were in flight.
+        self.versions: dict[str, int] = {}
+        #: Set by ``Cluster.enable_recovery``; gates client mutations on
+        #: objects still missing locally (see ``repro.osd.recovery``).
+        self.recovery_ledger = None
+        #: True while this OSD is an empty, freshly revived member being
+        #: backfilled: absent objects answer "missing during backfill"
+        #: (client fails over) instead of "no such object" (which clients
+        #: read as authoritative zeros — silent stale/lost data).
+        self.backfill_reserve = False
         self._codecs: dict[int, ReedSolomon] = {}
         #: op_id -> reply for completed mutations (pglog dup detection):
         #: a replayed or duplicated write resends the recorded ack
@@ -116,6 +152,16 @@ class OsdDaemon(Messenger):
         self._m_ops = metrics.counter(f"osd.{osd_id}.ops")
         self._m_op_latency = metrics.latency(f"osd.{osd_id}.op_latency")
         self._m_replays = metrics.counter("osd.replays_absorbed")
+
+    def reset_for_backfill(self) -> None:
+        """Wipe state for a revived-empty rejoin (the pre-failure store,
+        version log, and reply cache are stale) and enter backfill
+        reserve: absent reads answer "missing during backfill" until the
+        recovery path repopulates this OSD."""
+        self.store.clear()
+        self.versions.clear()
+        self._reply_cache.clear()
+        self.backfill_reserve = True
 
     def codec_for(self, pool_id: int) -> ReedSolomon:
         """The RS codec for an EC pool (cached)."""
@@ -136,6 +182,25 @@ class OsdDaemon(Messenger):
         yield from self.device.read(name, offset, length)
         return self.store.read(name, offset, length)
 
+    def _missing_locally(self, pool_id: int, key: str) -> bool:
+        """True when ``key``'s absence means "not yet backfilled" rather
+        than "never existed" — callers must fail over, not serve zeros."""
+        if self.backfill_reserve:
+            return True
+        ledger = self.recovery_ledger
+        return ledger is not None and ledger.is_missing(self.osd_id, pool_id, key)
+
+    def _gate_key(self, op: OsdOp) -> Optional[str]:
+        """Store key a client mutation must wait on before applying."""
+        if op.kind is OpKind.SHARD_WRITE:
+            return shard_object_name(op.object_name, op.shard)
+        if op.kind is OpKind.EC_WRITE:
+            # The primary's own shard; peer shards gate at each peer.
+            if self.osd_id in op.acting:
+                return shard_object_name(op.object_name, op.acting.index(self.osd_id))
+            return None
+        return op.object_name
+
     # -- request handling ----------------------------------------------------------
 
     def on_request(self, op: OsdOp, src: str) -> Generator:
@@ -153,6 +218,18 @@ class OsdDaemon(Messenger):
                 leg.record("osd.replay", "service", t0, self.env.now, osd=self.osd_id)
             yield from self.reply_to(src, cached)
             return
+        if self.recovery_ledger is not None and op.kind in _GATED_KINDS:
+            # Gate BEFORE taking a worker slot: the recovery push this
+            # op waits for needs a slot on this same OSD, so holding one
+            # here would deadlock the worker pool.
+            key = self._gate_key(op)
+            waited = False
+            if key is not None:
+                while (gate := self.recovery_ledger.write_gate(self.osd_id, op.pool_id, key)) is not None:
+                    waited = True
+                    yield gate
+            if waited and leg is not None:
+                leg.record("osd.recovery-gate", "queue", t0, self.env.now, osd=self.osd_id)
         req = self.cpu.request()
         yield req
         svc = None
@@ -175,6 +252,9 @@ class OsdDaemon(Messenger):
                 OpKind.EC_READ: self._do_ec_primary_read,
                 OpKind.DELETE: self._do_delete,
                 OpKind.PING: self._do_ping,
+                OpKind.PG_LIST: self._do_pg_list,
+                OpKind.PULL: self._do_pull,
+                OpKind.PUSH: self._do_push,
             }.get(op.kind)
             if handler is None:
                 reply = OsdReply(op.op_id, False, error=f"unknown op kind {op.kind}")
@@ -198,6 +278,10 @@ class OsdDaemon(Messenger):
         yield from self.reply_to(src, reply)
 
     def _do_read(self, op: OsdOp) -> Generator:
+        if op.object_name not in self.store and self._missing_locally(
+            op.pool_id, op.object_name
+        ):
+            raise StorageError(f"object {op.object_name!r} missing during backfill")
         data = yield from self._apply_read(op.object_name, op.offset, op.length)
         return OsdReply(op.op_id, True, data=data)
 
@@ -205,6 +289,7 @@ class OsdDaemon(Messenger):
         if op.data is None:
             raise StorageError(f"write op {op.op_id} carries no data")
         yield from self._apply_write(op.object_name, op.offset, op.data, op.sequential)
+        self.versions[op.object_name] = op.version or op.op_id
         return OsdReply(op.op_id, True)
 
     def _do_primary_write(self, op: OsdOp) -> Generator:
@@ -225,6 +310,7 @@ class OsdDaemon(Messenger):
                 data=op.data,
                 sequential=op.sequential,
                 epoch=op.epoch,
+                version=op.op_id,
             )
             sub_span = svc.child(f"osd.{peer}", "rpc") if svc is not None else None
             sub_ops.append(
@@ -244,6 +330,7 @@ class OsdDaemon(Messenger):
             name="local",
         )
         results = yield self.env.all_of(sub_ops + [local])
+        self.versions[op.object_name] = op.op_id
         for proc in sub_ops:
             rep = results[proc]
             if not rep.ok:
@@ -255,12 +342,15 @@ class OsdDaemon(Messenger):
             raise StorageError(f"shard write {op.op_id} missing data or shard index")
         name = shard_object_name(op.object_name, op.shard)
         yield from self._apply_write(name, op.offset, op.data, op.sequential)
+        self.versions[name] = op.version or op.op_id
         return OsdReply(op.op_id, True)
 
     def _do_shard_read(self, op: OsdOp) -> Generator:
         if op.shard < 0:
             raise StorageError(f"shard read {op.op_id} missing shard index")
         name = shard_object_name(op.object_name, op.shard)
+        if name not in self.store and self._missing_locally(op.pool_id, name):
+            raise StorageError(f"object {name!r} missing during backfill")
         data = yield from self._apply_read(name, op.offset, op.length)
         return OsdReply(op.op_id, True, data=data)
 
@@ -292,6 +382,7 @@ class OsdDaemon(Messenger):
                 shard=rank,
                 sequential=op.sequential,
                 epoch=op.epoch,
+                version=op.op_id,
             )
             sub_span = (
                 svc.child(f"osd.{target}", "rpc", shard=rank) if svc is not None else None
@@ -321,6 +412,8 @@ class OsdDaemon(Messenger):
                 )
             )
         results = yield self.env.all_of(procs)
+        if local_shard is not None:
+            self.versions[shard_object_name(op.object_name, local_shard)] = op.op_id
         for proc, value in results.items():
             if isinstance(value, OsdReply) and not value.ok:
                 return OsdReply(op.op_id, False, error=f"shard failed: {value.error}")
@@ -363,6 +456,70 @@ class OsdDaemon(Messenger):
         return OsdReply(op.op_id, True)
 
     def _do_delete(self, op: OsdOp) -> Generator:
+        if op.version < 0:
+            # Recovery trim of a stale copy: erase the version entry so
+            # no tombstone blocks a future backfill if this OSD rejoins
+            # the acting set.
+            self.versions.pop(op.object_name, None)
+        else:
+            # Tombstone: a backfill push racing this delete must lose.
+            self.versions[op.object_name] = op.version or op.op_id
+            if op.object_name not in self.store and self._missing_locally(
+                op.pool_id, op.object_name
+            ):
+                # Deleting an object not yet backfilled here: the
+                # tombstone alone suffices — the push will be discarded.
+                yield self.env.timeout(0)
+                return OsdReply(op.op_id, True)
         self.store.delete(op.object_name)
         yield self.env.timeout(0)
+        return OsdReply(op.op_id, True)
+
+    # -- recovery ops (repro.osd.recovery) -----------------------------------
+
+    #: CPU per store key examined while building a PG listing.
+    PG_LIST_SCAN_NS = 100
+
+    def _do_pg_list(self, op: OsdOp) -> Generator:
+        """Peering: list this OSD's store keys that hash into one PG,
+        with their versions and sizes (the authoritative-object census)."""
+        from ..crush.placement import object_to_pg  # local import avoids a cycle
+
+        if op.pg < 0:
+            raise StorageError(f"pg_list op {op.op_id} missing pg index")
+        pool = self.osdmap.pool(op.pool_id)
+        listing: dict[str, tuple[int, int]] = {}
+        names = self.store.object_names()
+        for key in names:
+            if object_to_pg(base_object_name(key), pool.pg_num) == op.pg:
+                listing[key] = (self.versions.get(key, 0), self.store.object_size(key))
+        yield self.env.timeout(self.PG_LIST_SCAN_NS * max(1, len(names)))
+        return OsdReply(op.op_id, True, listing=listing)
+
+    def _do_pull(self, op: OsdOp) -> Generator:
+        """Recovery read: whole store key (object or shard) + version.
+        Goes through the device, so pulls contend with client reads."""
+        name = op.object_name
+        if name not in self.store:
+            raise StorageError(f"no such object {name!r}")
+        size = self.store.object_size(name)
+        data = yield from self._apply_read(name, 0, size)
+        return OsdReply(op.op_id, True, data=data, version=self.versions.get(name, 0))
+
+    def _do_push(self, op: OsdOp) -> Generator:
+        """Recovery write: version-guarded whole-object install.  A push
+        carrying data pulled at version V applies only if this OSD has
+        seen nothing newer — a client write (or delete) that landed here
+        during the pull/push window wins, never the stale backfill."""
+        if op.data is None:
+            raise StorageError(f"push op {op.op_id} carries no data")
+        name = op.object_name
+        if self.versions.get(name, 0) > op.version:
+            yield self.env.timeout(0)
+            return OsdReply(op.op_id, True, stale=True)
+        if name in self.store:
+            # Whole-object install: drop any shorter/partial base first.
+            self.store.delete(name)
+        yield from self._apply_write(name, 0, op.data, True)
+        self.versions[name] = op.version
         return OsdReply(op.op_id, True)

@@ -69,6 +69,20 @@ class OSDMap:
         self.osds: dict[int, OsdState] = {}
         self.pools: dict[int, Pool] = {}
         self._next_pool_id = 1
+        #: Callbacks fired (synchronously) after every epoch bump; the
+        #: recovery manager subscribes to re-derive PG states.
+        self._watchers: list = []
+
+    def watch(self, callback) -> None:
+        """Register ``callback(epoch)`` to run after each epoch bump."""
+        self._watchers.append(callback)
+
+    def bump(self) -> int:
+        """Advance the epoch and notify watchers; returns the new epoch."""
+        self.epoch += 1
+        for callback in list(self._watchers):
+            callback(self.epoch)
+        return self.epoch
 
     def register_osd(self, osd_id: int, host: str) -> None:
         """Record an OSD's existence and host placement."""
@@ -85,7 +99,7 @@ class OSDMap:
         rule = replicated_rule(root_id, fault_domain_type, rule_id=pool_id, name=f"{name}-rule")
         pool = Pool(pool_id, name, PoolType.REPLICATED, pg_num, size, rule=rule)
         self.pools[pool_id] = pool
-        self.epoch += 1
+        self.bump()
         return pool
 
     def create_erasure_pool(
@@ -97,7 +111,7 @@ class OSDMap:
         rule = erasure_rule(root_id, fault_domain_type, rule_id=pool_id, name=f"{name}-rule")
         pool = Pool(pool_id, name, PoolType.ERASURE, pg_num, k + m, k=k, m=m, rule=rule)
         self.pools[pool_id] = pool
-        self.epoch += 1
+        self.bump()
         return pool
 
     def pool(self, pool_id: int) -> Pool:
@@ -121,7 +135,7 @@ class OSDMap:
         state.up = False
         state.in_cluster = False
         self.crush.mark_out(osd_id)
-        self.epoch += 1
+        self.bump()
 
     def mark_up(self, osd_id: int) -> None:
         """OSD rejoined."""
@@ -131,7 +145,7 @@ class OSDMap:
         state.up = True
         state.in_cluster = True
         self.crush.mark_in(osd_id)
-        self.epoch += 1
+        self.bump()
 
     def up_osds(self) -> list[int]:
         """Ids of OSDs currently up."""

@@ -13,6 +13,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from ..crush import CRUSH_ITEM_NONE, PlacementEngine
 from ..errors import DecodeError
 from ..sim import Environment
 from .monitor import Monitor
@@ -80,13 +81,52 @@ class Scrubber:
         report = ScrubReport(pool.name, deep)
         live = self._live_daemons()
         helper = next(iter(live.values()))
+        placement = PlacementEngine(self.monitor.osdmap.crush)
         for name in self._object_names(pool, live):
             report.objects_examined += 1
+            acting = placement.object_to_osds(
+                pool.pool_id, name, pool.pg_num, pool.rule, pool.size
+            )[1]
             if pool.pool_type == PoolType.REPLICATED:
+                self._check_replication(pool, name, acting, live, report)
                 yield from self._scrub_replicated(pool, name, live, deep, repair, report, helper)
             else:
+                self._check_ec_placement(pool, name, acting, live, report)
                 yield from self._scrub_ec(pool, name, live, deep, repair, report, helper)
         return report
+
+    def _check_ec_placement(self, pool, name, acting, live, report) -> None:
+        """Each live acting rank must hold its shard."""
+        absent = [
+            (rank, osd)
+            for rank, osd in enumerate(acting)
+            if osd != CRUSH_ITEM_NONE
+            and osd in live
+            and shard_object_name(name, rank) not in live[osd].store
+        ]
+        if absent:
+            report.inconsistencies.append(
+                Inconsistency(
+                    name, "missing-copy", f"shards absent on acting (rank, osd) {absent}"
+                )
+            )
+
+    def _check_replication(self, pool, name, acting, live, report) -> None:
+        """Acting-aware redundancy check: every live acting member must
+        hold its copy (a hole in the acting set itself is also reported
+        — the pool is running below its replica target)."""
+        expected = [o for o in acting if o != CRUSH_ITEM_NONE and o in live]
+        absent = [o for o in expected if name not in live[o].store]
+        short = pool.size - len(expected)
+        if absent or short > 0:
+            details = []
+            if absent:
+                details.append(f"absent on acting osds {absent}")
+            if short > 0:
+                details.append(f"{short} acting slots unfillable")
+            report.inconsistencies.append(
+                Inconsistency(name, "missing-copy", "; ".join(details))
+            )
 
     # -- replicated -----------------------------------------------------------
 

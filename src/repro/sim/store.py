@@ -18,21 +18,46 @@ from .core import Environment, Event
 class StorePut(Event):
     """Pending insertion of ``item`` into a store."""
 
-    __slots__ = ("item",)
+    __slots__ = ("item", "_store")
 
-    def __init__(self, env: Environment, item: Any):
+    def __init__(self, env: Environment, item: Any, store: "Store"):
         super().__init__(env)
         self.item = item
+        self._store = store
+
+    def _cancel_on_interrupt(self) -> None:
+        """Withdraw this put when the waiting process is interrupted
+        (hook called by :meth:`Process.interrupt`)."""
+        if not self.triggered:
+            try:
+                self._store._putters.remove(self)
+            except ValueError:
+                pass
 
 
 class StoreGet(Event):
     """Pending removal of one item from a store."""
 
-    __slots__ = ("filter",)
+    __slots__ = ("filter", "_store")
 
-    def __init__(self, env: Environment, filter: Optional[Callable[[Any], bool]] = None):
+    def __init__(
+        self,
+        env: Environment,
+        store: "Store",
+        filter: Optional[Callable[[Any], bool]] = None,
+    ):
         super().__init__(env)
         self.filter = filter
+        self._store = store
+
+    def _cancel_on_interrupt(self) -> None:
+        """Withdraw this claim so a later ``put`` is never handed to a
+        dead process (which would silently swallow the item)."""
+        if not self.triggered:
+            try:
+                self._store._getters.remove(self)
+            except ValueError:
+                pass
 
 
 class Store:
@@ -58,14 +83,14 @@ class Store:
 
     def put(self, item: Any) -> StorePut:
         """Insert ``item``; the returned event fires once accepted."""
-        ev = StorePut(self.env, item)
+        ev = StorePut(self.env, item, self)
         self._putters.append(ev)
         self._dispatch()
         return ev
 
     def get(self) -> StoreGet:
         """Remove the oldest item; the event's value is the item."""
-        ev = StoreGet(self.env)
+        ev = StoreGet(self.env, self)
         self._getters.append(ev)
         self._dispatch()
         return ev
@@ -106,7 +131,7 @@ class FilterStore(Store):
     """Store whose getters may wait for an item matching a predicate."""
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
-        ev = StoreGet(self.env, filter)
+        ev = StoreGet(self.env, self, filter)
         self._getters.append(ev)
         self._dispatch()
         return ev

@@ -163,3 +163,57 @@ def test_filter_store_plain_get_fifo():
     env.process(consumer(env))
     env.run()
     assert got == ["a", "b"]
+
+
+def test_interrupted_getter_does_not_swallow_items():
+    """Killing a process that waits on get() must withdraw its claim:
+    the next put goes to a live getter, not into a dead process's event
+    (which silently lost the item — the revived-messenger hang)."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def waiter(env):
+        got.append((yield store.get()))
+
+    doomed = env.process(waiter(env))
+
+    def driver(env):
+        yield env.timeout(1)
+        doomed.interrupt("crashed")
+        yield env.timeout(1)
+        env.process(waiter(env))
+        yield env.timeout(1)
+        yield store.put("payload")
+
+    env.process(driver(env))
+    env.run()
+    assert got == ["payload"]
+    assert not store._getters
+
+
+def test_interrupted_putter_withdraws_offer():
+    """Killing a process blocked on a full store's put() must withdraw
+    the pending item: draining the store afterwards yields only what
+    live producers offered."""
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put("held")
+
+    def blocked_producer(env):
+        yield store.put("doomed")
+
+    doomed = env.process(blocked_producer(env))
+    got = []
+
+    def driver(env):
+        yield env.timeout(1)
+        doomed.interrupt("crashed")
+        yield env.timeout(1)
+        got.append(store.try_get())
+        got.append(store.try_get())
+
+    env.process(driver(env))
+    env.run()
+    assert got == ["held", None]
+    assert not store._putters
