@@ -1,35 +1,56 @@
-"""Multi-tenancy scaling: DeLiBA-K's SR-IOV VFs vs the shared NBD daemon.
+"""Multi-tenancy: SR-IOV VF scaling *and* mClock fairness at the OSDs.
 
 The paper names missing multi-tenancy as one of the three problems of
 DeLiBA-1/2 (Section III): every tenant's I/O funnels through one
 user-space daemon, while DeLiBA-K gives each VM its own QDMA virtual
-function and io_uring instances.  This bench runs three concurrent
-tenants on both architectures and compares aggregate throughput.
+function and io_uring instances.  Two benches cover the two halves of
+the story:
+
+* ``test_multi_tenant_scaling`` — three concurrent tenants on both
+  architectures; the isolated-VF stack must beat the serialized daemon.
+  Each tenant's :class:`~repro.workloads.FioJob` is tenant-stamped, so
+  the identity rides the whole datapath (bio -> blk-mq -> driver ->
+  RADOS op) even with QoS off.
+* ``test_qos_fairness_sweep`` — what happens *after* the VFs converge
+  on shared OSDs: the >= 16-tenant mixed-profile mClock sweep
+  (:mod:`repro.bench.qosbench`), asserting the fairness shape per
+  archetype (floors met, ceilings held, weights ordering the shares).
 """
 
 from repro.api import SyncEngine, UringEngine
 from repro.bench.experiments import ExperimentResult
+from repro.bench.qosbench import REPLICATION, exp_qos, mixed_profiles, run_qos_scenario
 from repro.blk import BlkMqConfig, BlockLayer, DMQ_CONFIG
 from repro.deliba import DELIBA2, DELIBAK, build_framework
 from repro.driver import DELIBA2_NBD, NbdDriver, UifdDriver
 from repro.host import HostKernel
 from repro.osd import RBDImage
 from repro.sim import Resource
-from repro.units import kib, mib
+from repro.units import kib, mib, ms
 from repro.workloads import FioJob
 
 TENANTS = 3
 
+SWEEP_TENANTS = 16
+SWEEP_DURATION = ms(30)
+SWEEP_WARMUP = ms(10)
 
-def _tenant_job():
-    return FioJob("mt", "randwrite", bs=kib(4), iodepth=4, nrequests=120, size=mib(32))
+
+def _tenant_job(tenant):
+    return FioJob(
+        "mt", "randwrite", bs=kib(4), iodepth=4, nrequests=120, size=mib(32),
+        tenant=tenant,
+    )
 
 
 def _run_tenants(base, engines):
     env = base.env
-    job = _tenant_job()
     procs = [
-        env.process(engine.run(job.make_bios(base.rng.stream(f"mt{i}")), job.iodepth))
+        env.process(
+            engine.run(
+                _tenant_job(f"vm{i + 1}").make_bios(base.rng.stream(f"mt{i}")), 4
+            )
+        )
         for i, engine in enumerate(engines)
     ]
     env.run()
@@ -92,3 +113,38 @@ def test_multi_tenant_scaling(benchmark, report):
     d2 = result.rows[1][1]
     # Isolated VFs must beat the serialized daemon by a wide margin.
     assert dk > d2 * 2, f"D-K {dk} MB/s vs D2 {d2} MB/s"
+
+
+def test_qos_fairness_sweep(benchmark, report):
+    """>= 16 tenants, four archetype profiles, one saturated pool."""
+    result = benchmark.pedantic(
+        lambda: exp_qos(smoke=True, ntenants=SWEEP_TENANTS), rounds=1, iterations=1
+    )
+    report(result)
+
+    tenants = mixed_profiles(SWEEP_TENANTS)
+    run = run_qos_scenario(
+        tenants, seed=0, duration_ns=SWEEP_DURATION, warmup_ns=SWEEP_WARMUP
+    )
+    window_s = (SWEEP_DURATION - SWEEP_WARMUP) / 1e9
+    for name, (spec, _depth) in tenants.items():
+        s = run.tenants[name]
+        if spec is not None and spec.reservation_iops:
+            assert s.op_iops >= 0.95 * spec.reservation_iops, (
+                f"{name}: {s.op_iops:,.0f} op-IOPS below floor "
+                f"{spec.reservation_iops:,.0f}"
+            )
+        if spec is not None and spec.limit_iops is not None:
+            slack = REPLICATION / window_s  # one in-flight write of slop
+            assert s.op_iops <= spec.limit_iops + slack, (
+                f"{name}: {s.op_iops:,.0f} op-IOPS above cap {spec.limit_iops:,.0f}"
+            )
+    # Weights order the shares: every weight-4 tenant out-runs every
+    # default (weight-1) tenant, and by a wide margin in aggregate.
+    w4 = [run.tenants[n].iops for n, (spec, _d) in tenants.items()
+          if spec is not None and spec.weight == 4 and not spec.reservation_iops
+          and spec.limit_iops is None]
+    default = [run.tenants[n].iops for n, (spec, _d) in tenants.items()
+               if spec is None]
+    assert min(w4) > max(default), f"weight-4 {w4} vs default {default}"
+    assert sum(w4) > 2 * sum(default)

@@ -131,6 +131,8 @@ class IoUring:
                 # The causal tree is rooted where the application hands
                 # the op to the kernel interface: SQE preparation.
                 bio._obs_root = tracer.start_root(bio.op.value, size=bio.size)
+                if bio.tenant:
+                    bio._obs_root.annotate(tenant=bio.tenant)
         self.sq.push(sqe)
         return sqe
 
@@ -156,6 +158,8 @@ class IoUring:
                 bio._trace_t0 = now
                 if causal:
                     bio._obs_root = tracer.start_root(bio.op.value, size=bio.size)
+                    if bio.tenant:
+                        bio._obs_root.annotate(tenant=bio.tenant)
             sqes.append(
                 Sqe(
                     opcode=opcode,

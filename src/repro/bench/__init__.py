@@ -21,6 +21,7 @@ from .experiments import (
 from .breakdown import exp_breakdown
 from .cachebench import cache_smoke, exp_cache, run_cache_case
 from .chaos import ChaosRunStats, ChaosScenario, chaos_smoke, exp_chaos, run_chaos_scenario
+from .qosbench import QosRunStats, TenantStats, exp_qos, qos_smoke, run_qos_scenario
 from .export import export_all, export_csv
 from .sweep import SweepSpec, run_sweep
 from .tables import format_table, ratio_note
@@ -33,8 +34,13 @@ __all__ = [
     "FIG_WORKLOADS",
     "ChaosRunStats",
     "ChaosScenario",
+    "QosRunStats",
+    "TenantStats",
     "cache_smoke",
     "chaos_smoke",
+    "exp_qos",
+    "qos_smoke",
+    "run_qos_scenario",
     "exp_breakdown",
     "exp_cache",
     "exp_chaos",

@@ -37,6 +37,10 @@ class Bio:
     data: Optional[bytes] = None
     #: Access-pattern hint propagated to the media model.
     sequential: bool = False
+    #: Tenant identity for multi-tenant QoS; "" = untagged.  Travels
+    #: down the whole stack (request -> driver -> RADOS op) so the OSD
+    #: scheduler can attribute the IO.
+    tenant: str = ""
 
     def __post_init__(self):
         if self.sector < 0:
@@ -153,6 +157,12 @@ class Request:
         return self.bios[0].op
 
     @property
+    def tenant(self) -> str:
+        """Tenant identity (uniform across merged bios — enforced by
+        :meth:`can_merge`)."""
+        return self.bios[0].tenant
+
+    @property
     def sector(self) -> int:
         """Starting sector."""
         return self.bios[0].sector
@@ -190,8 +200,15 @@ class Request:
         return b"".join(parts)
 
     def can_merge(self, bio: Bio) -> bool:
-        """Back-merge test: same op and physically contiguous."""
-        return bio.op == self.op and self.bios[-1].end_sector == bio.sector
+        """Back-merge test: same op, same tenant, physically contiguous.
+
+        Cross-tenant merging would let one tenant's bytes ride another's
+        QoS identity, corrupting per-tenant accounting at the OSD."""
+        return (
+            bio.op == self.op
+            and bio.tenant == self.bios[0].tenant
+            and self.bios[-1].end_sector == bio.sector
+        )
 
     def merge(self, bio: Bio) -> None:
         """Append a contiguous bio (caller must check :meth:`can_merge`)."""

@@ -280,6 +280,8 @@ class BlockLayer:
                 root = tracer.start_root(bio.op.value, size=bio.size)
                 bio._obs_root = root
             root.annotate(req_id=request.req_id)
+            if bio.tenant:
+                root.annotate(tenant=bio.tenant)
             request._obs_span = root
         return request
 

@@ -363,9 +363,13 @@ class CachedImage:
 
     # -- backend helpers ----------------------------------------------------------
 
-    def _fetch_line(self, line_off: int, line_len: int, ctx=None) -> Generator:
-        """Process: read one full (clamped) line from the backend."""
-        data = yield from self.image.read(line_off, line_len, ctx=ctx)
+    def _fetch_line(self, line_off: int, line_len: int, ctx=None, tenant: str = "") -> Generator:
+        """Process: read one full (clamped) line from the backend.
+
+        ``tenant`` attributes the fill to the op that missed; lazy
+        flush/cleaner traffic stays untagged (cache housekeeping).
+        """
+        data = yield from self.image.read(line_off, line_len, ctx=ctx, tenant=tenant)
         return data
 
     def _leg(self, span, name: str, **meta):
@@ -373,11 +377,11 @@ class CachedImage:
 
     # -- the datapath --------------------------------------------------------------
 
-    def read(self, offset: int, length: int, ctx=None) -> Generator:
+    def read(self, offset: int, length: int, ctx=None, tenant: str = "") -> Generator:
         """Process: cached read; returns bytes (read-your-writes exact)."""
         config = self.config
         if config.mode is CacheMode.PASS_THROUGH:
-            data = yield from self.image.read(offset, length, ctx=ctx)
+            data = yield from self.image.read(offset, length, ctx=ctx, tenant=tenant)
             return data
         self._check_extent(offset, length)
         self._m_ops.add()
@@ -402,7 +406,7 @@ class CachedImage:
             # serves it directly and the cache stays unpolluted.
             self._count("seq_bypasses")
             try:
-                data = yield from self.image.read(offset, length, ctx=span)
+                data = yield from self.image.read(offset, length, ctx=span, tenant=tenant)
             finally:
                 if span is not None:
                     span.finish(bypass=True)
@@ -424,7 +428,7 @@ class CachedImage:
                 misses += 1
                 leg = self._leg(span, f"fill.{line_id}", line=line_id)
                 fetches[line_id] = self.env.process(
-                    wrap_span(leg, self._fetch_line(line_off, line_len, ctx=leg)),
+                    wrap_span(leg, self._fetch_line(line_off, line_len, ctx=leg, tenant=tenant)),
                     name="cache.fill",
                 )
         self._count("read_hits", hits)
@@ -462,11 +466,14 @@ class CachedImage:
             span.finish(hits=hits, misses=misses)
         return b"".join(parts[s[0]] for s in segs)
 
-    def write(self, offset: int, data: bytes, sequential: bool = False, ctx=None) -> Generator:
+    def write(
+        self, offset: int, data: bytes, sequential: bool = False, ctx=None,
+        tenant: str = "",
+    ) -> Generator:
         """Process: cached write under the configured mode."""
         config = self.config
         if config.mode is CacheMode.PASS_THROUGH:
-            yield from self.image.write(offset, data, sequential=sequential, ctx=ctx)
+            yield from self.image.write(offset, data, sequential=sequential, ctx=ctx, tenant=tenant)
             return
         length = len(data)
         self._check_extent(offset, length)
@@ -487,7 +494,9 @@ class CachedImage:
             if bypass:
                 self._count("seq_bypasses")
             try:
-                yield from self.image.write(offset, data, sequential=sequential, ctx=span)
+                yield from self.image.write(
+                    offset, data, sequential=sequential, ctx=span, tenant=tenant
+                )
             finally:
                 if span is not None:
                     span.finish(bypass=bypass)
@@ -496,9 +505,9 @@ class CachedImage:
             self._update_resident(offset, data)
             return
         if config.mode is CacheMode.WRITE_THROUGH:
-            yield from self._write_through(offset, data, desc, span, sequential)
+            yield from self._write_through(offset, data, desc, span, sequential, tenant)
         else:
-            yield from self._write_back(offset, data, desc, span)
+            yield from self._write_back(offset, data, desc, span, tenant)
         self._refresh_gauges()
         if span is not None:
             span.finish()
@@ -524,7 +533,10 @@ class CachedImage:
             updated += 1
         return updated
 
-    def _write_through(self, offset: int, data: bytes, desc: IoDesc, span, sequential: bool) -> Generator:
+    def _write_through(
+        self, offset: int, data: bytes, desc: IoDesc, span, sequential: bool,
+        tenant: str = "",
+    ) -> Generator:
         """WT: backend write first, then mirror into the cache.
 
         Write misses promote only full-line segments — a partial-line
@@ -533,7 +545,7 @@ class CachedImage:
         """
         leg = self._leg(span, "backend", op="write")
         yield from wrap_span(leg, self.image.write(
-            offset, data, sequential=sequential, ctx=leg,
+            offset, data, sequential=sequential, ctx=leg, tenant=tenant,
         ))
         klass = self.classifier.classify(desc)
         cached_bytes = 0
@@ -558,7 +570,9 @@ class CachedImage:
         if cached_bytes:
             yield self.env.timeout(self.config.write_cost_ns(cached_bytes))
 
-    def _write_back(self, offset: int, data: bytes, desc: IoDesc, span) -> Generator:
+    def _write_back(
+        self, offset: int, data: bytes, desc: IoDesc, span, tenant: str = ""
+    ) -> Generator:
         """WB: dirty the cache; only non-promoted segments touch the
         backend now, everything else flushes lazily."""
         klass = self.classifier.classify(desc)
@@ -594,7 +608,7 @@ class CachedImage:
                 # valid, then overlay the new bytes and dirty it.
                 leg = self._leg(span, f"fill.{line_id}", line=line_id)
                 fills[line_id] = self.env.process(
-                    wrap_span(leg, self._fetch_line(line_off, line_len, ctx=leg)),
+                    wrap_span(leg, self._fetch_line(line_off, line_len, ctx=leg, tenant=tenant)),
                     name="cache.fill",
                 )
                 fill_segs[line_id] = seg
@@ -606,6 +620,7 @@ class CachedImage:
             backend_procs.append(self.env.process(
                 wrap_span(leg, self.image.write(
                     seg_off, data[rel : rel + seg_len], sequential=False, ctx=leg,
+                    tenant=tenant,
                 )),
                 name="cache.wb-miss",
             ))

@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .bench import breakdown, cachebench, experiments
+from .bench import breakdown, cachebench, experiments, qosbench
 from .deliba import FRAMEWORKS, PoolSpec, build_framework, framework_by_name
 from .units import kib
 from .workloads import FioJob
@@ -33,6 +33,7 @@ EXPERIMENTS = {
     "table2": experiments.exp_table2,
     "table3": experiments.exp_table3,
     "power": experiments.exp_power,
+    "qos": qosbench.exp_qos,
     "realworld": experiments.exp_realworld,
     "headline": experiments.exp_headline,
 }
@@ -88,6 +89,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             "surfaces, no retry/failover fires, or runs diverge")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--nrequests", type=int, default=300)
+
+    qos = sub.add_parser("qos", help="multi-tenant QoS: mClock fairness on shared OSD pools")
+    qos.add_argument("--smoke", action="store_true",
+                     help="seeded 3-tenant fairness battery vs FIFO baseline; exit "
+                          "nonzero if the reservation floor, limit ceiling, 3:1 weight "
+                          "split, work conservation, or run determinism fails")
+    qos.add_argument("--seed", type=int, default=0)
+    qos.add_argument("--tenants", type=int, default=16,
+                     help="tenant count for the mixed-profile sweep (min 16)")
+    qos.add_argument("--report", metavar="PATH",
+                     help="also write the report to this file (CI artifact)")
 
     recov = sub.add_parser("recover", help="online self-healing: kill/revive under client IO")
     recov.add_argument("--smoke", action="store_true",
@@ -220,6 +232,21 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_qos(args) -> int:
+    from .bench.qosbench import exp_qos, qos_smoke
+
+    if args.smoke:
+        code, report = qos_smoke(seed=args.seed)
+    else:
+        code, report = 0, exp_qos(seed=args.seed, ntenants=args.tenants).render()
+    print(report)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(report + "\n")
+        print(f"[report written to {args.report}]")
+    return code
+
+
 def _cmd_recover(args) -> int:
     from .bench.recovery import exp_recovery, recover_smoke
 
@@ -340,6 +367,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "qos":
+        return _cmd_qos(args)
     if args.command == "recover":
         return _cmd_recover(args)
     if args.command == "golden":

@@ -215,8 +215,13 @@ class NbdDriver:
             offset = request.bios[0].offset
             if request.op == IoOp.WRITE:
                 data = request.data() or b"\x00" * request.size
-                yield from self.image.write(offset, data, sequential=request.sequential, ctx=ctx)
+                yield from self.image.write(
+                    offset, data, sequential=request.sequential, ctx=ctx,
+                    tenant=request.tenant,
+                )
             else:
-                yield from self.image.read(offset, request.size, ctx=ctx)
+                yield from self.image.read(
+                    offset, request.size, ctx=ctx, tenant=request.tenant
+                )
         finally:
             self.image.direct = saved

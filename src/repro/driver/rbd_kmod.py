@@ -61,9 +61,11 @@ class RbdKmodDriver:
             offset = request.bios[0].offset
             if request.op == IoOp.WRITE:
                 data = request.data() or b"\x00" * request.size
-                yield from self.image.write(offset, data, sequential=request.sequential)
+                yield from self.image.write(
+                    offset, data, sequential=request.sequential, tenant=request.tenant
+                )
             else:
-                yield from self.image.read(offset, request.size)
+                yield from self.image.read(offset, request.size, tenant=request.tenant)
         finally:
             self.image.direct = saved
         request.completed_at = self.env.now

@@ -222,8 +222,13 @@ class UifdDriver:
                 data = request.data()
                 if data is None:
                     data = b"\x00" * request.size
-                yield from self.image.write(offset, data, sequential=request.sequential, ctx=ctx)
+                yield from self.image.write(
+                    offset, data, sequential=request.sequential, ctx=ctx,
+                    tenant=request.tenant,
+                )
             else:
-                yield from self.image.read(offset, request.size, ctx=ctx)
+                yield from self.image.read(
+                    offset, request.size, ctx=ctx, tenant=request.tenant
+                )
         finally:
             self.image.direct = saved

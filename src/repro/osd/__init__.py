@@ -18,12 +18,36 @@ from .objects import ObjectStore
 from .ops import OP_HEADER_BYTES, OpKind, OsdOp, OsdReply
 from .osd import OsdConfig, OsdDaemon, base_object_name, shard_object_name
 from .osdmap import OSDMap, OsdState, Pool, PoolType
+from .qos import (
+    CLASS_CLIENT,
+    CLASS_RECOVERY,
+    CLASS_SCRUB,
+    CLASS_SYSTEM,
+    MClockQueue,
+    OsdQosScheduler,
+    QosConfig,
+    QosManager,
+    QosSpec,
+    QosTag,
+    TenantTracker,
+)
 from .recovery import PGInfo, PGState, RecoveryConfig, RecoveryManager
 from .rbd import DEFAULT_OBJECT_SIZE, Extent, RBDImage
 from .storage import HDD, NVME_SSD, PROFILES, SATA_SSD, SMR_HDD, MediaProfile, StorageDevice
 
 __all__ = [
+    "CLASS_CLIENT",
+    "CLASS_RECOVERY",
+    "CLASS_SCRUB",
+    "CLASS_SYSTEM",
     "CephCluster",
+    "MClockQueue",
+    "OsdQosScheduler",
+    "QosConfig",
+    "QosManager",
+    "QosSpec",
+    "QosTag",
+    "TenantTracker",
     "FaultInjector",
     "Inconsistency",
     "ScrubReport",

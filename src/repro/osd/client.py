@@ -28,6 +28,7 @@ from .fabric import Fabric, Messenger, traced_call
 from .ops import OpKind, OsdOp, OsdReply
 from .osdmap import OSDMap, Pool, PoolType
 from .policy import DEFAULT_POLICY, OpPolicy
+from .qos import QosTag
 
 
 class RadosClient(Messenger):
@@ -56,6 +57,9 @@ class RadosClient(Messenger):
         self.policy = policy or DEFAULT_POLICY
         #: RNG substream for backoff jitter (None = no jitter).
         self._rng = rng
+        #: Default tenant identity stamped on this client's ops when the
+        #: per-call ``tenant`` argument is empty (one client per VM).
+        self.tenant = ""
         self.ops_completed = 0
         #: CRUSH work counter of the last placement (profiling hook).
         self.last_placement_ops = 0
@@ -129,6 +133,17 @@ class RadosClient(Messenger):
             self._m_degraded_placements.add()
         return acting
 
+    def _qos_tag(self, tenant: str) -> Optional[QosTag]:
+        """QoS identity for one logical op (None when there is nothing
+        to say: no tenant named and no QoS tracker installed).  Each
+        wire op derives its own copy, so retry and failover legs inherit
+        the originating op's identity instead of re-entering OSD queues
+        anonymously."""
+        tenant = tenant or self.tenant
+        if not tenant and self.qos_tracker is None:
+            return None
+        return QosTag(tenant)
+
     # -- retry bookkeeping ---------------------------------------------------------
 
     def _note_retry(self) -> None:
@@ -179,6 +194,7 @@ class RadosClient(Messenger):
         direct: bool = False,
         sequential: bool = False,
         ctx=None,
+        tenant: str = "",
     ) -> Generator:
         """Process: durable write of ``data`` to all replicas.
 
@@ -194,6 +210,7 @@ class RadosClient(Messenger):
         if pool.pool_type != PoolType.REPLICATED:
             raise StorageError(f"pool {pool.name!r} is not replicated")
         policy = self.policy
+        qos = self._qos_tag(tenant)
         ops: dict[int, OsdOp] = {}  # target -> op, reused across attempts
         done: set[int] = set()
         primary_op: Optional[OsdOp] = None
@@ -227,6 +244,7 @@ class RadosClient(Messenger):
                             data=data,
                             sequential=sequential,
                             epoch=self.osdmap.epoch,
+                            qos=qos.derive() if qos is not None else None,
                         )
                         # All replicas of one logical write share one
                         # mutation version (the first sub-op's id), so
@@ -269,6 +287,7 @@ class RadosClient(Messenger):
                         acting=tuple(acting),
                         sequential=sequential,
                         epoch=self.osdmap.epoch,
+                        qos=qos.derive() if qos is not None else None,
                     )
                 else:
                     primary_op.acting = tuple(acting)
@@ -289,7 +308,8 @@ class RadosClient(Messenger):
         raise self._exhausted("write", object_name, policy.max_attempts, last)
 
     def read_replicated(
-        self, pool: Pool, object_name: str, offset: int, length: int, ctx=None
+        self, pool: Pool, object_name: str, offset: int, length: int, ctx=None,
+        tenant: str = "",
     ) -> Generator:
         """Process: read, failing over primary -> secondaries; returns bytes.
 
@@ -302,6 +322,7 @@ class RadosClient(Messenger):
         if pool.pool_type != PoolType.REPLICATED:
             raise StorageError(f"pool {pool.name!r} is not replicated")
         policy = self.policy
+        qos = self._qos_tag(tenant)
         last = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
@@ -314,9 +335,13 @@ class RadosClient(Messenger):
             if not acting:
                 raise StorageError(f"no acting set for {object_name!r}")
             for idx, target in enumerate(acting):
+                # Fresh op per (attempt, target) — the failover leg still
+                # derives the originating op's QoS identity, so it never
+                # re-enters the secondary's queue anonymously.
                 op = OsdOp(
                     OpKind.READ, pool.pool_id, object_name, offset, length,
                     epoch=self.osdmap.epoch,
+                    qos=qos.derive() if qos is not None else None,
                 )
                 leg = (
                     ctx.child(f"osd.{target}", "rpc", attempt=attempt, failover=idx)
@@ -347,6 +372,7 @@ class RadosClient(Messenger):
         sequential: bool = False,
         shards: Optional[list[bytes]] = None,
         ctx=None,
+        tenant: str = "",
     ) -> Generator:
         """Process: EC write of a whole object.
 
@@ -363,6 +389,7 @@ class RadosClient(Messenger):
         if pool.pool_type != PoolType.ERASURE:
             raise StorageError(f"pool {pool.name!r} is not erasure-coded")
         policy = self.policy
+        qos = self._qos_tag(tenant)
         shard_ops: dict[tuple[int, int], OsdOp] = {}  # (rank, target) -> op
         written: dict[int, int] = {}  # rank -> target that acked
         primary_op: Optional[OsdOp] = None
@@ -403,6 +430,7 @@ class RadosClient(Messenger):
                             shard=rank,
                             sequential=sequential,
                             epoch=self.osdmap.epoch,
+                            qos=qos.derive() if qos is not None else None,
                         )
                         # One version across all shards of this write.
                         if group_version == 0:
@@ -446,6 +474,7 @@ class RadosClient(Messenger):
                         acting=tuple(osd for _, osd in targets),
                         sequential=sequential,
                         epoch=self.osdmap.epoch,
+                        qos=qos.derive() if qos is not None else None,
                     )
                 else:
                     primary_op.acting = tuple(osd for _, osd in targets)
@@ -466,7 +495,8 @@ class RadosClient(Messenger):
         raise self._exhausted("ec write", object_name, policy.max_attempts, last)
 
     def read_ec(
-        self, pool: Pool, object_name: str, length: int, direct: bool = False, ctx=None
+        self, pool: Pool, object_name: str, length: int, direct: bool = False, ctx=None,
+        tenant: str = "",
     ) -> Generator:
         """Process: EC read of a whole object of known ``length``.
 
@@ -477,6 +507,7 @@ class RadosClient(Messenger):
         if pool.pool_type != PoolType.ERASURE:
             raise StorageError(f"pool {pool.name!r} is not erasure-coded")
         policy = self.policy
+        qos = self._qos_tag(tenant)
         last = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
@@ -498,7 +529,7 @@ class RadosClient(Messenger):
                 try:
                     shards, degraded = yield from gather_shards(
                         self, pool, object_name, targets, shard_len, self.osdmap.epoch,
-                        timeout_ns=policy.timeout_ns, ctx=gather,
+                        timeout_ns=policy.timeout_ns, ctx=gather, qos=qos,
                     )
                 except StorageError as exc:
                     if gather is not None:
@@ -520,6 +551,7 @@ class RadosClient(Messenger):
                 length,
                 acting=tuple(osd for _, osd in targets),
                 epoch=self.osdmap.epoch,
+                qos=qos.derive() if qos is not None else None,
             )
             leg = (
                 ctx.child(f"osd.{primary}", "rpc", attempt=attempt) if ctx is not None else None
@@ -535,7 +567,7 @@ class RadosClient(Messenger):
 
 def gather_shards(
     messenger, pool, object_name, targets, shard_len, epoch, preloaded=None, timeout_ns=None,
-    ctx=None,
+    ctx=None, qos=None,
 ):
     """Process: collect >= k shards; returns ``(shards, degraded)``.
 
@@ -570,6 +602,7 @@ def gather_shards(
                 shard_len,
                 shard=rank,
                 epoch=epoch,
+                qos=qos.derive() if qos is not None else None,
             )
             leg = ctx.child(f"osd.{target}", "rpc", shard=rank) if ctx is not None else None
             procs[rank] = env.process(

@@ -92,6 +92,8 @@ class CephCluster:
         )
         #: Online self-healing manager; None until enable_recovery().
         self.recovery = None
+        #: Multi-tenant QoS manager; None until enable_qos().
+        self.qos = None
         self._clients: dict[str, RadosClient] = {}
         #: registry of written objects for recovery/scrub helpers:
         #: name -> (pool_id, length)
@@ -117,6 +119,8 @@ class CephCluster:
         )
         client.start()
         self._clients[name] = client
+        if self.qos is not None:
+            self.qos.attach_messenger(client)
         return client
 
     def client(self, name: str) -> RadosClient:
@@ -164,6 +168,8 @@ class CephCluster:
         self.daemons[dev_id] = daemon
         if self.recovery is not None:
             daemon.recovery_ledger = self.recovery
+        if self.qos is not None:
+            self.qos.attach_osd(daemon)
         self.osdmap.bump()
         return dev_id
 
@@ -180,11 +186,36 @@ class CephCluster:
         """
         from .recovery import RecoveryManager
 
+        if config is not None and getattr(config, "client_priority", False):
+            # Client-priority recovery is expressed through the QoS
+            # scheduler's ``recovery`` service class, not ad-hoc backoff.
+            self.enable_qos()
         if self.recovery is None:
             self.recovery = RecoveryManager(
                 self.env, self, config, metrics=self.metrics, tracer=tracer
             )
+            if self.qos is not None:
+                for agent in self.recovery._agents.values():
+                    self.qos.attach_messenger(agent.messenger)
         return self.recovery
+
+    # -- multi-tenant QoS ----------------------------------------------------------
+
+    def enable_qos(self, config=None):
+        """Turn on the mClock-style multi-tenant QoS subsystem (per-OSD
+        tag scheduler, dmClock distributed tags — see ``repro.osd.qos``).
+
+        Off by default so untagged runs stay event-identical; once
+        enabled, every OSD admits work through a reservation/weight/limit
+        tag queue and client/recovery/scrub traffic is shaped per the
+        :class:`~repro.osd.qos.QosConfig`.  Returns the
+        :class:`~repro.osd.qos.QosManager`.
+        """
+        from .qos import QosManager
+
+        if self.qos is None:
+            self.qos = QosManager(self.env, self, config, metrics=self.metrics)
+        return self.qos
 
     # -- failure injection --------------------------------------------------------
 

@@ -213,6 +213,11 @@ class Messenger:
         self.env = env
         self.fabric = fabric
         self.entity = entity
+        #: Optional dmClock distributed-tag bookkeeping (installed by
+        #: ``CephCluster.enable_qos``): stamps rho/delta onto outgoing
+        #: tagged ops and consumes the phase feedback on replies.  Pure
+        #: attribute work — no events, so QoS-off runs are untouched.
+        self.qos_tracker = None
         self._pending: dict[int, Event] = {}
         #: In-flight request-handler processes, insertion-ordered so a
         #: crash kills them deterministically: proc -> (op_id, src).
@@ -331,14 +336,19 @@ class Messenger:
         """
         ev = self.env.event()
         self._pending[op.op_id] = ev
+        if self.qos_tracker is not None and op.qos is not None:
+            self.qos_tracker.stamp(op, dst)
         yield from self.fabric.send(self.entity, dst, op.wire_size(), op)
         if timeout_ns is None:
             reply = yield ev
+            self._account_qos(op, reply)
             return reply
         deadline = self.env.timeout(timeout_ns)
         results = yield self.env.any_of([ev, deadline])
         if ev in results:
-            return results[ev]
+            reply = results[ev]
+            self._account_qos(op, reply)
+            return reply
         self._pending.pop(op.op_id, None)
         return OsdReply(
             op.op_id,
@@ -346,6 +356,12 @@ class Messenger:
             error=f"timeout after {timeout_ns} ns",
             status=BlkStatus.TIMEOUT,
         )
+
+    def _account_qos(self, op: OsdOp, reply: OsdReply) -> None:
+        """Feed dmClock phase feedback to the tracker (synthetic replies
+        carry phase 0 and are ignored)."""
+        if self.qos_tracker is not None and op.qos is not None and reply.qos_phase:
+            self.qos_tracker.account(op.qos, reply.qos_phase)
 
     def reply_to(self, dst: str, reply: OsdReply) -> Generator:
         """Process: send a reply back to the requester."""

@@ -17,6 +17,7 @@ from ..errors import StorageError
 from ..sim import NULL_METRICS, Environment
 from .ops import OpKind, OsdOp
 from .osd import OsdDaemon, shard_object_name
+from .qos import CLASS_SYSTEM, QosTag
 from .osdmap import OSDMap, Pool, PoolType
 
 #: Most recent failure detections remembered (bounded: a long chaos run
@@ -99,7 +100,11 @@ class Monitor:
     def _probe_one(self, osd_id: int, grace_ns: int):
         t0 = self.env.now
         reply = yield from self.messenger.call(
-            f"osd.{osd_id}", OsdOp(OpKind.PING, 0, "ping"), timeout_ns=grace_ns
+            f"osd.{osd_id}",
+            # Heartbeats ride the reserved ``system`` class: detection
+            # latency must not degrade when tenants saturate the OSDs.
+            OsdOp(OpKind.PING, 0, "ping", qos=QosTag(svc=CLASS_SYSTEM)),
+            timeout_ns=grace_ns
         )
         if not self._hb_running:
             return
@@ -198,6 +203,7 @@ class Monitor:
                 len(data),
                 data=data,
                 epoch=self.osdmap.epoch,
+                qos=QosTag(svc=CLASS_SYSTEM),
             )
             yield from helper.call(f"osd.{target}", op)
             moved += len(data)
@@ -239,6 +245,7 @@ class Monitor:
                 data=shard,
                 shard=rank,
                 epoch=self.osdmap.epoch,
+                qos=QosTag(svc=CLASS_SYSTEM),
             )
             yield from helper.call(f"osd.{target}", op)
             moved += len(shard)

@@ -8,6 +8,7 @@ from enum import Enum
 from typing import Optional
 
 from ..status import BlkStatus
+from .qos import QosTag
 
 #: Serialized header bytes per op/reply (MOSDOp envelope).
 OP_HEADER_BYTES = 200
@@ -60,6 +61,11 @@ class OsdOp:
     #: travels with the message so the serving OSD can attach its
     #: queue/service sub-spans.  Never serialized or compared.
     obs_span: Optional[object] = field(default=None, repr=False, compare=False)
+    #: QoS identity (tenant + service class + dmClock rho/delta).  Inert
+    #: until a cluster enables QoS; excluded from repr/compare so the
+    #: tag never leaks into digests.  Not counted in wire_size (a few
+    #: piggybacked bytes, dmClock-style).
+    qos: Optional[QosTag] = field(default=None, repr=False, compare=False)
     op_id: int = field(default_factory=lambda: next(_op_ids))
 
     def wire_size(self) -> int:
@@ -86,6 +92,9 @@ class OsdReply:
     listing: Optional[dict[str, tuple[int, int]]] = None
     #: PUSH replies: the install was skipped because local data is newer.
     stale: bool = False
+    #: dmClock phase feedback (``repro.osd.qos.PHASE_*``): which phase
+    #: the serving OSD dispatched the op in; 0 when QoS is off.
+    qos_phase: int = 0
 
     #: Serialized bytes per peering listing entry (key + version + size).
     LISTING_ENTRY_BYTES = 64

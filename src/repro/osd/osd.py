@@ -94,6 +94,13 @@ _GATED_KINDS = frozenset(
     }
 )
 
+#: Sub-op kinds a primary fans out while holding its own worker slot.
+#: Under QoS these take the scheduler's express lane when they arrive
+#: from a peer OSD: the parent already passed (and was charged at) the
+#: primary's admission gate, and competing for primary slots could
+#: deadlock the pools once they fill with mutually-waiting primaries.
+_SUBOP_KINDS = frozenset({OpKind.REP_WRITE, OpKind.SHARD_WRITE, OpKind.SHARD_READ})
+
 
 def shard_object_name(object_name: str, shard: int) -> str:
     """Object-store key of one EC shard."""
@@ -137,6 +144,10 @@ class OsdDaemon(Messenger):
         #: Set by ``Cluster.enable_recovery``; gates client mutations on
         #: objects still missing locally (see ``repro.osd.recovery``).
         self.recovery_ledger = None
+        #: Set by ``Cluster.enable_qos``: the dmClock admission gate in
+        #: front of the worker pool (see ``repro.osd.qos``).  None keeps
+        #: the request path byte-identical to the unscheduled seed.
+        self.qos = None
         #: True while this OSD is an empty, freshly revived member being
         #: backfilled: absent objects answer "missing during backfill"
         #: (client fails over) instead of "no such object" (which clients
@@ -230,14 +241,39 @@ class OsdDaemon(Messenger):
                     yield gate
             if waited and leg is not None:
                 leg.record("osd.recovery-gate", "queue", t0, self.env.now, osd=self.osd_id)
-        req = self.cpu.request()
-        yield req
+        qos_phase = 0
+        express = (
+            self.qos is not None
+            and op.kind in _SUBOP_KINDS
+            and src.startswith("osd.")
+        )
+        if express:
+            # Peer sub-op: arbitrated at its primary's gate; serve from
+            # the express lane so it never waits behind a primary that
+            # is itself waiting on sub-ops (see _SUBOP_KINDS).
+            req = self.qos.sub_lane.request()
+            yield req
+            pool = self.qos.sub_lane
+        else:
+            if self.qos is not None:
+                # dmClock admission: the scheduler (not the FIFO resource
+                # queue) decides service order; once dispatched, at most
+                # op_threads ops are outstanding so the slot claim below
+                # never waits.
+                qos_phase = yield from self.qos.admit(op)
+            req = self.cpu.request()
+            yield req
+            pool = self.cpu
         svc = None
         if leg is not None:
             # Worker-pool wait vs. actual service, split explicitly so
             # the critical path can tell saturation from slow handlers.
-            leg.record("osd.queue", "queue", t0, self.env.now, osd=self.osd_id)
-            svc = leg.child("osd.service", "service", osd=self.osd_id)
+            meta = {"osd": self.osd_id}
+            if op.qos is not None:
+                meta["tenant"] = op.qos.tenant
+                meta["qos_class"] = op.qos.svc
+            leg.record("osd.queue", "queue", t0, self.env.now, **meta)
+            svc = leg.child("osd.service", "service", **meta)
             op._obs_service = svc
         try:
             yield self.env.timeout(self.config.op_cost_ns)
@@ -264,8 +300,11 @@ class OsdDaemon(Messenger):
                 except StorageError as exc:
                     reply = OsdReply(op.op_id, False, error=str(exc))
         finally:
-            self.cpu.release(req)
+            pool.release(req)
+            if self.qos is not None and not express:
+                self.qos.release()
         reply.epoch = self.osdmap.epoch
+        reply.qos_phase = qos_phase
         if reply.ok and op.kind in _MUTATING_KINDS:
             self._reply_cache[op.op_id] = reply
             while len(self._reply_cache) > REPLY_CACHE_SIZE:
@@ -311,6 +350,7 @@ class OsdDaemon(Messenger):
                 sequential=op.sequential,
                 epoch=op.epoch,
                 version=op.op_id,
+                qos=op.qos.derive() if op.qos is not None else None,
             )
             sub_span = svc.child(f"osd.{peer}", "rpc") if svc is not None else None
             sub_ops.append(
@@ -383,6 +423,7 @@ class OsdDaemon(Messenger):
                 sequential=op.sequential,
                 epoch=op.epoch,
                 version=op.op_id,
+                qos=op.qos.derive() if op.qos is not None else None,
             )
             sub_span = (
                 svc.child(f"osd.{target}", "rpc", shard=rank) if svc is not None else None
@@ -440,7 +481,7 @@ class OsdDaemon(Messenger):
         try:
             shards, _degraded = yield from gather_shards(
                 self, pool, op.object_name, remote_targets, shard_len, op.epoch, preloaded,
-                timeout_ns=self.config.subop_timeout_ns, ctx=svc,
+                timeout_ns=self.config.subop_timeout_ns, ctx=svc, qos=op.qos,
             )
         except StorageError as exc:
             return OsdReply(op.op_id, False, error=str(exc))

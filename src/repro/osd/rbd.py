@@ -81,11 +81,15 @@ class RBDImage:
             remaining -= chunk
         return out
 
-    def write(self, offset: int, data: bytes, sequential: bool = False, ctx=None) -> Generator:
+    def write(
+        self, offset: int, data: bytes, sequential: bool = False, ctx=None,
+        tenant: str = "",
+    ) -> Generator:
         """Process: write ``data`` at ``offset`` (parallel across objects).
 
         ``ctx`` is an optional causal span: multi-object writes open one
         ``fanout`` child per extent so the straggler object is visible.
+        ``tenant`` is the QoS identity stamped on every RADOS op.
         """
         extents = self._object_extents(offset, len(data))
         multi = len(extents) > 1
@@ -127,6 +131,7 @@ class RBDImage:
                     sequential=sequential,
                     shards=pre_encoded[ext_i],
                     ctx=sub_ctx,
+                    tenant=tenant,
                 )
                 procs.append(self.client.env.process(wrap_span(leg, gen), name="rbd-ec-wr"))
             else:
@@ -138,11 +143,12 @@ class RBDImage:
                     direct=self.direct,
                     sequential=sequential,
                     ctx=sub_ctx,
+                    tenant=tenant,
                 )
                 procs.append(self.client.env.process(wrap_span(leg, gen), name="rbd-wr"))
         yield self.client.env.all_of(procs)
 
-    def read(self, offset: int, length: int, ctx=None) -> Generator:
+    def read(self, offset: int, length: int, ctx=None, tenant: str = "") -> Generator:
         """Process: read ``length`` bytes at ``offset``; returns bytes."""
         extents = self._object_extents(offset, length)
         multi = len(extents) > 1
@@ -157,10 +163,14 @@ class RBDImage:
                     raise StorageError(
                         f"EC image {self.name!r}: partial-object read at offset {offset}"
                     )
-                gen = self.client.read_ec(self.pool, name, chunk, direct=self.direct, ctx=sub_ctx)
+                gen = self.client.read_ec(
+                    self.pool, name, chunk, direct=self.direct, ctx=sub_ctx, tenant=tenant
+                )
                 procs.append(env.process(wrap_span(leg, gen), name="rbd-ec-rd"))
             else:
-                gen = self.client.read_replicated(self.pool, name, obj_off, chunk, ctx=sub_ctx)
+                gen = self.client.read_replicated(
+                    self.pool, name, obj_off, chunk, ctx=sub_ctx, tenant=tenant
+                )
                 procs.append(env.process(wrap_span(leg, gen), name="rbd-rd"))
         results = yield env.all_of(procs)
         return b"".join(results[p] for p in procs)

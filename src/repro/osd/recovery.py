@@ -15,7 +15,8 @@ IO**, the way Ceph does:
   measurable knob (:class:`RecoveryConfig`).
 * Per-OSD **recovery agents** run as sim processes on the primary of
   each damaged PG; a throttle bounds in-flight ops and bytes/s, and
-  ``client_priority`` makes agents back off while client ops queue.
+  ``client_priority`` routes recovery ops through the QoS scheduler's
+  low-weight ``recovery`` service class (see :mod:`repro.osd.qos`).
 * **Degraded-mode availability**: clients read/write through the
   surviving acting set the whole time.  A per-PG missing set gates
   client mutations of not-yet-backfilled objects (they block, briefly,
@@ -43,11 +44,11 @@ from ..crush import CRUSH_ITEM_NONE, PlacementEngine
 from ..crush.placement import object_to_pg
 from ..net.stack import KERNEL_TCP
 from ..sim import NULL_METRICS, Environment, Event, Resource
-from ..units import us
 from .fabric import Messenger, traced_call
 from .ops import OpKind, OsdOp
 from .osd import base_object_name, shard_object_name
 from .osdmap import PoolType
+from .qos import CLASS_RECOVERY, QosTag
 
 
 class PGState(Enum):
@@ -77,10 +78,11 @@ class RecoveryConfig:
     max_inflight_ops: int = 4
     #: Recovery bandwidth cap per agent (pull + push bytes); None = none.
     bytes_per_sec: Optional[int] = None
-    #: Back off while the serving OSD has client ops queued.
+    #: Yield to client traffic: recovery ops ride the cluster's QoS
+    #: ``recovery`` service class (low weight, no reservation) instead
+    #: of competing head-to-head in OSD queues.  Enabling this turns on
+    #: cluster QoS if it is not already on.
     client_priority: bool = False
-    #: Poll step while yielding to client traffic.
-    client_poll_ns: int = us(50)
     #: Deadline per recovery op; None = wait (dead peers still bounce).
     op_timeout_ns: Optional[int] = None
 
@@ -332,6 +334,8 @@ class _Agent:
         manager.cluster.fabric.register(name, host, KERNEL_TCP)
         self.messenger = Messenger(self.env, manager.cluster.fabric, name)
         self.messenger.start()
+        if manager.cluster.qos is not None:
+            manager.cluster.qos.attach_messenger(self.messenger)
         self._queue: deque[_Job] = deque()
         self._wake: Event = self.env.event()
         self._window = Resource(
@@ -362,9 +366,6 @@ class _Agent:
 
     def _throttle(self, nbytes: int) -> Generator:
         cfg = self.manager.config
-        if cfg.client_priority:
-            while self.daemon.cpu.queue_len > 0:
-                yield self.env.timeout(cfg.client_poll_ns)
         if cfg.bytes_per_sec:
             now = self.env.now
             start = max(now, self._next_free_ns)
@@ -373,6 +374,10 @@ class _Agent:
                 yield self.env.timeout(start - now)
 
     def _call(self, osd_id: int, op: OsdOp, span) -> Generator:
+        if self.messenger.qos_tracker is not None and op.qos is None:
+            # Recovery traffic is shaped by the scheduler's ``recovery``
+            # service class, not ad-hoc backoff against queue depth.
+            op.qos = QosTag(svc=CLASS_RECOVERY)
         leg = span.child(f"osd.{osd_id}", "rpc", op=op.kind.value) if span is not None else None
         reply = yield from traced_call(
             self.messenger, f"osd.{osd_id}", op, self.manager.config.op_timeout_ns, leg

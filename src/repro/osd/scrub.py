@@ -19,6 +19,7 @@ from ..sim import Environment
 from .monitor import Monitor
 from .ops import OpKind, OsdOp
 from .osd import OsdDaemon, shard_object_name
+from .qos import CLASS_SCRUB, QosTag
 from .osdmap import Pool, PoolType
 
 
@@ -173,7 +174,10 @@ class Scrubber:
             good = copies[good_osds[0]]
             bad = [o for o, data in copies.items() if _digest(data) != good_digest]
         for osd_id in bad:
-            op = OsdOp(OpKind.WRITE_DIRECT, 0, name, 0, len(good), data=good)
+            op = OsdOp(
+                OpKind.WRITE_DIRECT, 0, name, 0, len(good), data=good,
+                qos=QosTag(svc=CLASS_SCRUB),
+            )
             yield from helper.call(f"osd.{osd_id}", op)
 
     # -- erasure coded -----------------------------------------------------------
@@ -235,7 +239,7 @@ class Scrubber:
                 fixed = codec.reconstruct_shard(others, culprit)
                 op = OsdOp(
                     OpKind.SHARD_WRITE, pool.pool_id, name, 0, len(fixed),
-                    data=fixed, shard=culprit,
+                    data=fixed, shard=culprit, qos=QosTag(svc=CLASS_SCRUB),
                 )
                 yield from helper.call(f"osd.{shard_osd[culprit]}", op)
                 report.repaired += 1

@@ -32,6 +32,9 @@ class FioJob:
     #: Independent copies of this job run concurrently (fio's numjobs);
     #: each generates its own pattern and keeps its own iodepth.
     numjobs: int = 1
+    #: Tenant identity stamped on every bio this job emits ("" =
+    #: untagged); the multi-tenant QoS layer attributes the IO by it.
+    tenant: str = ""
 
     def __post_init__(self):
         if self.rw not in RW_MODES:
@@ -81,6 +84,7 @@ class FioJob:
                     size=self.bs,
                     data=fill if op == IoOp.WRITE else None,
                     sequential=self.is_sequential,
+                    tenant=self.tenant,
                 )
             )
         return bios

@@ -1,0 +1,281 @@
+"""Deterministic differential scheduler harness.
+
+Replays one identical arrival trace through two schedulers — plain FIFO
+and the production :class:`repro.osd.qos.MClockQueue` — over a model
+server pool with fixed per-op service time, entirely in virtual time
+(no simulation kernel, no randomness at replay time).  Because both
+runs see byte-identical arrivals, any per-flow difference in dispatch
+counts or queue waits is attributable to the scheduling policy alone,
+so fairness claims (reservation floors, weight-proportional allocation,
+limit ceilings, work conservation) can be asserted as exact properties
+rather than statistical tendencies.
+
+Also hosts :func:`replay_cluster`, the multi-server dmClock replay: one
+queue per server plus a :class:`~repro.osd.qos.TenantTracker` per flow
+stamping rho/delta exactly as the messenger layer does, used by the
+Hypothesis properties to check that distributed tags keep cluster-wide
+floors and ceilings without any scheduler-to-scheduler talk.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.osd.qos import (
+    NS_PER_SEC,
+    PHASE_RESERVATION,
+    MClockQueue,
+    QosConfig,
+    QosTag,
+    TenantTracker,
+)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One op of the trace: who sent it and when."""
+
+    time: int
+    flow: tuple[str, str]
+    op_id: int
+
+
+def open_loop_trace(
+    flows: dict[tuple[str, str], float], duration_ns: int, start_ns: int = 0
+) -> list[Arrival]:
+    """Deterministic open-loop trace: each flow arrives at a fixed rate.
+
+    ``flows`` maps flow key -> offered IOPS.  Arrivals are merged in
+    time order (ties by flow insertion order), op ids are globally
+    unique — the same list replays identically forever.
+    """
+    arrivals: list[Arrival] = []
+    for flow, iops in flows.items():
+        spacing = max(1, round(NS_PER_SEC / iops))
+        t = start_ns
+        while t < start_ns + duration_ns:
+            arrivals.append(Arrival(t, flow, 0))
+            t += spacing
+    arrivals.sort(key=lambda a: a.time)
+    return [Arrival(a.time, a.flow, i) for i, a in enumerate(arrivals)]
+
+
+@dataclass
+class FlowStats:
+    """Per-flow outcome of one replay."""
+
+    dispatched: int = 0
+    reservation_dispatches: int = 0
+    total_wait_ns: int = 0
+    max_wait_ns: int = 0
+    #: dispatch timestamps (ns) — rate assertions slice windows of this.
+    dispatch_times: list[int] = field(default_factory=list)
+
+    def mean_wait_ns(self) -> float:
+        return self.total_wait_ns / self.dispatched if self.dispatched else 0.0
+
+    def rate_iops(self, t0: int, t1: int) -> float:
+        """Observed dispatch rate over [t0, t1)."""
+        n = sum(1 for t in self.dispatch_times if t0 <= t < t1)
+        return n * NS_PER_SEC / (t1 - t0) if t1 > t0 else 0.0
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one scheduler replay over a trace."""
+
+    flows: dict[tuple[str, str], FlowStats]
+    #: op_id -> (arrival, dispatch, flow) for per-op differential diffs.
+    per_op: dict[int, tuple[int, int, tuple[str, str]]]
+    finished_at: int = 0
+
+    def total_dispatched(self) -> int:
+        return sum(s.dispatched for s in self.flows.values())
+
+
+class FifoQueue:
+    """The baseline policy: strict arrival order, no flow awareness.
+
+    Implements the same ``push``/``pop``/``next_eligible`` surface as
+    :class:`MClockQueue` so :func:`replay` drives either verbatim.
+    """
+
+    def __init__(self):
+        self._items: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item, key, now, rho=1, delta=1) -> None:
+        self._items.append((item, key))
+
+    def pop(self, now):
+        if not self._items:
+            return None
+        item, key = self._items.popleft()
+        return item, key, 0, 0
+
+    def next_eligible(self, now):
+        return now if self._items else None
+
+
+def replay(queue, arrivals: list[Arrival], workers: int, service_ns: int) -> ReplayResult:
+    """Run ``arrivals`` through ``queue`` over ``workers`` model servers.
+
+    Every dispatched op occupies one worker for exactly ``service_ns``.
+    The loop advances virtual time to the next arrival or completion,
+    dispatching whenever a worker is free and the queue has an eligible
+    head — plus, for limit-blocked queues, to the queue's own
+    ``next_eligible`` time (mirroring the production wakeup timer).
+    Fully deterministic: identical inputs give identical results.
+    """
+    flows: dict[tuple[str, str], FlowStats] = {}
+    per_op: dict[int, tuple[int, int, tuple[str, str]]] = {}
+    busy: list[tuple[int, int]] = []  # (finish_time, seq) heap
+    seq = 0
+    now = 0
+    i = 0
+    n = len(arrivals)
+    last_dispatch = 0
+    while i < n or len(queue) or busy:
+        # Admit everything that has arrived by now.
+        while i < n and arrivals[i].time <= now:
+            a = arrivals[i]
+            queue.push((a.op_id, a.time), a.flow, a.time)
+            i += 1
+        # Retire finished service slots.
+        while busy and busy[0][0] <= now:
+            heapq.heappop(busy)
+        # Dispatch while a worker is free and a head is eligible.
+        while len(busy) < workers:
+            popped = queue.pop(now)
+            if popped is None:
+                break
+            (op_id, t_arr), key, phase, _lag = popped
+            seq += 1
+            heapq.heappush(busy, (now + service_ns, seq))
+            st = flows.setdefault(key, FlowStats())
+            st.dispatched += 1
+            if phase == PHASE_RESERVATION:
+                st.reservation_dispatches += 1
+            wait = now - t_arr
+            st.total_wait_ns += wait
+            st.max_wait_ns = max(st.max_wait_ns, wait)
+            st.dispatch_times.append(now)
+            per_op[op_id] = (t_arr, now, key)
+            last_dispatch = now
+        # Advance to the next thing that can change state.
+        candidates = []
+        if i < n:
+            candidates.append(arrivals[i].time)
+        if busy:
+            candidates.append(busy[0][0])
+        if len(queue) and len(busy) < workers:
+            t = queue.next_eligible(now)
+            if t is not None:
+                candidates.append(max(t, now + 1))
+        if not candidates:
+            break
+        # Invariants guarantee every candidate is in the future (arrived
+        # ops were admitted, finished slots retired, eligible heads
+        # dispatched), so this strictly advances.
+        now = min(candidates)
+    return ReplayResult(flows, per_op, finished_at=last_dispatch)
+
+
+def differential(
+    config: QosConfig,
+    arrivals: list[Arrival],
+    workers: int,
+    service_ns: int,
+) -> tuple[ReplayResult, ReplayResult]:
+    """Replay one trace under FIFO and under mClock; returns both."""
+    fifo = replay(FifoQueue(), arrivals, workers, service_ns)
+    mclock = replay(MClockQueue(config), arrivals, workers, service_ns)
+    return fifo, mclock
+
+
+def wait_diffs(fifo: ReplayResult, mclock: ReplayResult) -> dict[int, int]:
+    """Per-op queue-wait change, mClock minus FIFO (ns), by op id."""
+    diffs = {}
+    for op_id, (t_arr, t_disp, _key) in mclock.per_op.items():
+        base = fifo.per_op.get(op_id)
+        if base is not None:
+            diffs[op_id] = (t_disp - t_arr) - (base[1] - base[0])
+    return diffs
+
+
+def replay_cluster(
+    config: QosConfig,
+    arrivals: list[tuple[int, tuple[str, str], int]],
+    servers: int,
+    workers: int,
+    service_ns: int,
+) -> dict[tuple[str, str], FlowStats]:
+    """dmClock replay: ``arrivals`` are (time, flow, server) triples.
+
+    One :class:`MClockQueue` per server; one :class:`TenantTracker` per
+    flow stamps rho/delta on each send exactly as the messenger layer
+    does, and completions are accounted with their dispatch phase.  This
+    is the distributed-tags property surface: per-flow *cluster-wide*
+    dispatch totals should respect reservations/limits even though each
+    server schedules independently.
+    """
+    queues = [MClockQueue(config) for _ in range(servers)]
+    trackers: dict[tuple[str, str], TenantTracker] = {}
+    stats: dict[tuple[str, str], FlowStats] = {}
+    busy: list[list[tuple[int, int]]] = [[] for _ in range(servers)]
+    seq = 0
+    events = sorted(arrivals, key=lambda a: a[0])
+    i, n = 0, len(events)
+    now = 0
+
+    def pump(s: int, t: int) -> None:
+        nonlocal seq
+        q = queues[s]
+        while busy[s] and busy[s][0][0] <= t:
+            heapq.heappop(busy[s])
+        while len(busy[s]) < workers:
+            popped = q.pop(t)
+            if popped is None:
+                break
+            (flow, t_arr, tag), _key, phase, _lag = popped
+            seq += 1
+            heapq.heappush(busy[s], (t + service_ns, seq))
+            st = stats.setdefault(flow, FlowStats())
+            st.dispatched += 1
+            if phase == PHASE_RESERVATION:
+                st.reservation_dispatches += 1
+            st.total_wait_ns += t - t_arr
+            st.max_wait_ns = max(st.max_wait_ns, t - t_arr)
+            st.dispatch_times.append(t)
+            trackers[flow].account(tag, phase)
+
+    while True:
+        while i < n and events[i][0] <= now:
+            t, flow, server = events[i]
+            i += 1
+            tracker = trackers.setdefault(flow, TenantTracker())
+            tag = QosTag(flow[1], flow[0]) if flow[0] == "client" else QosTag(svc=flow[0])
+            op = type("_Op", (), {"qos": tag})()
+            tracker.stamp(op, f"osd.{server}")
+            queues[server].push((flow, t, tag), flow, t, tag.rho, tag.delta)
+        for s in range(servers):
+            pump(s, now)
+        candidates = []
+        if i < n:
+            candidates.append(events[i][0])
+        for s in range(servers):
+            if busy[s]:
+                candidates.append(busy[s][0][0])
+            if len(queues[s]) and len(busy[s]) < workers:
+                t = queues[s].next_eligible(now)
+                if t is not None:
+                    candidates.append(max(t, now + 1))
+        nxt = min((c for c in candidates if c > now), default=None)
+        if nxt is None:
+            break  # drained: no arrivals, busy slots, or blocked heads left
+        now = nxt
+    return stats

@@ -18,6 +18,8 @@ say so in the commit message.
 
 from repro.bench import golden
 from repro.bench.chaos import SCENARIOS, run_chaos_scenario
+from repro.bench.qosbench import BATTERY, run_qos_scenario
+from repro.units import ms
 
 
 def test_golden_files_exist():
@@ -58,3 +60,30 @@ def test_check_reports_all_canonical_runs():
     ok, lines = golden.check()
     assert ok, "\n".join(lines)
     assert len(lines) == len(golden.CANONICAL_RUNS)
+
+
+def _qos_battery_digest(qos: bool) -> str:
+    return run_qos_scenario(
+        BATTERY, seed=3, duration_ns=ms(12), warmup_ns=ms(4), qos=qos
+    ).digest
+
+
+def test_qos_bench_double_run_is_deterministic():
+    """Two same-seed QoS battery runs in one interpreter must agree:
+    tag clocks, wake timers, and tracker state live per-run."""
+    assert _qos_battery_digest(qos=True) == _qos_battery_digest(qos=True)
+
+
+def test_qos_digest_captures_scheduling():
+    """The digest must see the scheduler: the same load with QoS off
+    dispatches in different order and phases, so digests differ."""
+    assert _qos_battery_digest(qos=True) != _qos_battery_digest(qos=False)
+
+
+def test_goldens_unchanged_with_qos_merged():
+    """Golden neutrality: with QoS left disabled, the canonical runs —
+    which exercise the full datapath the tenant tagging threads through
+    (bio -> blk-mq -> driver -> RADOS ops) — still match the digests
+    recorded before the QoS subsystem existed."""
+    assert golden.chaos_smoke_digest() == golden.read_golden("chaos-smoke")
+    assert golden.fig6_digest() == golden.read_golden("fig6")

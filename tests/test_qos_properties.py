@@ -1,0 +1,143 @@
+"""Hypothesis properties for the mClock/dmClock scheduler.
+
+Feasible-by-construction QoS configs (reservations sum below pool
+capacity, limits at or above reservations) replayed through the
+production tag queue over randomized flow counts, rates, burst phases
+and server counts.  Floors must hold, ceilings must never be pierced,
+and the scheduler must stay deterministic and work-conserving.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.qos_harness import Arrival, FifoQueue, open_loop_trace, replay, replay_cluster
+from repro.osd.qos import NS_PER_SEC, MClockQueue, QosConfig, QosSpec
+from repro.units import ms, us
+
+WORKERS = 4
+SERVICE_NS = 10 * us(1)
+CAPACITY_IOPS = WORKERS * NS_PER_SEC / SERVICE_NS  # 400k
+DURATION = ms(10)
+
+
+@st.composite
+def feasible_scenarios(draw):
+    """(config, offered) with reservations feasible by construction:
+    the floors sum to at most 70% of pool capacity, every limit is at
+    least its flow's reservation, and offered load covers each floor."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    budget = 0.7 * CAPACITY_IOPS
+    tenants = {}
+    offered = {}
+    for i in range(n):
+        # Each flow takes a random bite of the remaining floor budget.
+        res_frac = draw(st.floats(min_value=0.0, max_value=0.5))
+        res = budget * res_frac
+        budget -= res
+        weight = draw(st.sampled_from([0.5, 1.0, 2.0, 4.0]))
+        with_limit = draw(st.booleans())
+        limit = None
+        if with_limit:
+            limit = max(res, 1.0) * draw(st.floats(min_value=1.0, max_value=3.0))
+        spec = QosSpec(
+            reservation_iops=res, weight=weight, limit_iops=limit
+        )
+        name = f"t{i}"
+        tenants[name] = spec
+        # Offered load always covers the floor (else it is vacuous) and
+        # randomly oversubscribes the pool.
+        base = max(res * 1.3, 20_000.0)
+        offered[("client", name)] = base + draw(
+            st.floats(min_value=0.0, max_value=150_000.0)
+        )
+    return QosConfig(tenants=tenants), offered
+
+
+def bursty(offered, phase_ns):
+    """Phase-shift every other flow's arrivals to create bursts."""
+    shifted = []
+    for j, (flow, iops) in enumerate(offered.items()):
+        t = open_loop_trace({flow: iops}, DURATION, start_ns=(phase_ns if j % 2 else 0))
+        shifted.extend(t)
+    shifted.sort(key=lambda a: a.time)
+    return [Arrival(a.time, a.flow, i) for i, a in enumerate(shifted)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(feasible_scenarios(), st.integers(min_value=0, max_value=200_000))
+def test_floors_and_ceilings_hold(scenario, phase_ns):
+    config, offered = scenario
+    trace = bursty(offered, phase_ns)
+    result = replay(MClockQueue(config), trace, WORKERS, SERVICE_NS)
+    w0, w1 = DURATION // 2, DURATION
+    window_s = (w1 - w0) / NS_PER_SEC
+    for name, spec in config.tenants.items():
+        flow = ("client", name)
+        stats = result.flows.get(flow)
+        if spec.reservation_iops >= 1000:
+            # Floor: the steady-state window meets the reservation
+            # (0.95 absorbs window-boundary quantization).
+            assert stats is not None
+            assert stats.rate_iops(w0, w1) >= 0.95 * spec.reservation_iops
+        if spec.limit_iops is not None and stats is not None:
+            # Ceiling: limit tags space dispatches at l_spacing, so any
+            # window holds at most window/spacing + 1 of them — exact.
+            allowed = window_s * spec.limit_iops + 1
+            n = sum(1 for t in stats.dispatch_times if w0 <= t < w1)
+            assert n <= allowed
+
+
+@settings(max_examples=25, deadline=None)
+@given(feasible_scenarios())
+def test_work_conservation_without_limits(scenario):
+    config, offered = scenario
+    # Strip the limits: what remains must be fully work-conserving.
+    config = QosConfig(tenants={
+        name: QosSpec(reservation_iops=s.reservation_iops, weight=s.weight)
+        for name, s in config.tenants.items()
+    })
+    trace = open_loop_trace(offered, DURATION)
+    fifo = replay(FifoQueue(), trace, WORKERS, SERVICE_NS)
+    mc = replay(MClockQueue(config), trace, WORKERS, SERVICE_NS)
+    # Identical arrivals, identical service: reordering ops can never
+    # lose work when no limit idles a worker on purpose.
+    assert mc.total_dispatched() == fifo.total_dispatched()
+    assert mc.total_dispatched() == len(trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(feasible_scenarios(), st.integers(min_value=1, max_value=4))
+def test_distributed_floors_hold_across_servers(scenario, servers):
+    """dmClock: rho-stamped reservation tags keep the *cluster-wide*
+    floor when a flow's ops spread over independent per-server queues."""
+    config, offered = scenario
+    trace = open_loop_trace(offered, DURATION)
+    arrivals = [(a.time, a.flow, i % servers) for i, a in enumerate(trace)]
+    stats = replay_cluster(
+        config, arrivals, servers=servers, workers=WORKERS, service_ns=SERVICE_NS
+    )
+    w0, w1 = DURATION // 2, DURATION
+    for name, spec in config.tenants.items():
+        if spec.reservation_iops < 1000:
+            continue
+        flow = ("client", name)
+        assert flow in stats
+        # Aggregate over every server's dispatches: the distributed
+        # floor tolerates one spacing of slack per server.
+        rate = stats[flow].rate_iops(w0, w1)
+        slack = servers * NS_PER_SEC / (w1 - w0)
+        assert rate >= 0.9 * spec.reservation_iops - slack
+
+
+@settings(max_examples=15, deadline=None)
+@given(feasible_scenarios(), st.randoms(use_true_random=False))
+def test_replay_determinism_under_shuffled_construction(scenario, rng):
+    """The queue's outcome depends only on the arrival trace, not on
+    incidental construction order of unrelated Python state."""
+    config, offered = scenario
+    trace = open_loop_trace(offered, DURATION)
+    r1 = replay(MClockQueue(config), trace, WORKERS, SERVICE_NS)
+    # Rebuild everything from scratch (fresh config objects included).
+    config2 = QosConfig(tenants=dict(config.tenants.items()))
+    r2 = replay(MClockQueue(config2), list(trace), WORKERS, SERVICE_NS)
+    assert r1.per_op == r2.per_op
