@@ -19,7 +19,7 @@ import hashlib
 from dataclasses import dataclass
 
 from ..deliba import FRAMEWORKS, PoolSpec, build_framework
-from ..osd import ClusterSpec, FaultInjector, OpPolicy, OsdConfig
+from ..osd import ClusterSpec, DurabilityConfig, FaultInjector, OpPolicy, OsdConfig
 from ..units import kib, mib, ms, us
 from ..workloads import FioJob
 from .experiments import ExperimentResult
@@ -48,6 +48,9 @@ class ChaosScenario:
     flap_host: bool = False
     #: Run monitor heartbeats so crashes are *detected*, not injected.
     heartbeats: bool = False
+    #: Cut power to the primary of the image's first object mid-run,
+    #: then restore it after ``POWER_OUTAGE_NS`` (durable WAL replay).
+    power_loss: bool = False
 
 
 SCENARIOS = (
@@ -55,7 +58,11 @@ SCENARIOS = (
     ChaosScenario("crash-replica", crash_replica=True, heartbeats=True),
     ChaosScenario("lossy-fabric", drop_p=0.02, duplicate_p=0.01, corrupt_p=0.01),
     ChaosScenario("flaky-link", flap_host=True),
+    ChaosScenario("power-loss", heartbeats=True, power_loss=True),
 )
+
+#: How long a power-loss outage lasts before power is restored.
+POWER_OUTAGE_NS = ms(2)
 
 
 @dataclass
@@ -81,6 +88,10 @@ class ChaosRunStats:
     link_drops: int
     osds_marked_down: int
     digest: str
+    #: Power-loss path counters (trailing defaults: fault-free scenarios
+    #: and their golden digests predate these fields).
+    power_loss_retries: int = 0
+    wal_replays: int = 0
 
     @property
     def availability(self) -> float:
@@ -88,16 +99,21 @@ class ChaosRunStats:
         return 1.0 - self.error_rate
 
 
-def _chaos_cluster_spec(seed: int, client_stack) -> ClusterSpec:
+def _chaos_cluster_spec(seed: int, client_stack, durable: bool = False) -> ClusterSpec:
     """Chaos testbed: 3 hosts x 4 OSDs, retry policy with a real timeout
     (silently dropped messages must not hang an op), and an OSD sub-op
-    deadline so a primary never strands on a lost replica write."""
+    deadline so a primary never strands on a lost replica write.
+
+    ``durable`` attaches the WAL commit pipeline to every OSD (required
+    by the power-loss scenario; off elsewhere so the fault-free golden
+    digests stay byte-identical)."""
     return ClusterSpec(
         num_server_hosts=CHAOS_SERVERS,
         osds_per_host=CHAOS_OSDS_PER_HOST,
         client_stack=client_stack,
         osd_config=OsdConfig(subop_timeout_ns=ms(1)),
         op_policy=OpPolicy(timeout_ns=ms(2), max_attempts=6),
+        durability=DurabilityConfig() if durable else None,
         seed=seed,
     )
 
@@ -132,6 +148,24 @@ def _drive(fw, job, injector, scenario: ChaosScenario, crash_after_ops: int):
         env.process(_crash_trigger(), name="chaos.crash-trigger")
     if scenario.flap_host:
         injector.flap_link(cluster.server_hosts[-1], us(300), us(300), count=3)
+    if scenario.power_loss:
+        # Cut power to the first object's primary mid-run: the volatile
+        # cache resolves under seeded fates, in-flight ops bounce with
+        # the retryable AGAIN status, heartbeats detect the outage, and
+        # after POWER_OUTAGE_NS the OSD replays its WAL and rejoins.
+        victim = fw.image.client.compute_placement(fw.pool, fw.image.object_name(0))[0]
+        ops_at_start = cluster.total_ops_served()
+
+        def _power_trigger():
+            while not done["flag"]:
+                if cluster.total_ops_served() - ops_at_start >= crash_after_ops:
+                    injector.power_loss(victim)
+                    yield env.timeout(POWER_OUTAGE_NS)
+                    injector.restore_power(victim)
+                    return
+                yield env.timeout(us(100))
+
+        env.process(_power_trigger(), name="chaos.power-trigger")
 
     try:
         result = yield from fw.engine.run(bios, job.iodepth)
@@ -150,7 +184,9 @@ def run_chaos_scenario(
     fw = build_framework(
         cfg,
         pool_spec=PoolSpec(kind="replicated", size=3),
-        cluster_spec=_chaos_cluster_spec(seed, cfg.client_stack),
+        cluster_spec=_chaos_cluster_spec(
+            seed, cfg.client_stack, durable=scenario.power_loss
+        ),
         seed=seed,
         metrics=True,
     )
@@ -202,6 +238,10 @@ def run_chaos_scenario(
         link_drops=fw.cluster.fabric.link_drops,
         osds_marked_down=len(fw.cluster.monitor.failures_detected),
         digest=fingerprint.hexdigest()[:16],
+        power_loss_retries=client.power_loss_retries,
+        wal_replays=sum(
+            d.wal.replays for d in fw.cluster.daemons.values() if d.wal is not None
+        ),
     )
 
 
@@ -210,14 +250,14 @@ def _result_table(stats: list[ChaosRunStats]) -> ExperimentResult:
         "chaos",
         "fault-tolerance datapath: availability + tails under injected faults",
         ["scenario", "ios", "err", "avail%", "p50us", "p99us", "p999us",
-         "MB/s", "retry", "t/o", "fover", "replay", "drop"],
+         "MB/s", "retry", "t/o", "fover", "replay", "drop", "ploss"],
     )
     for s in stats:
         res.rows.append([
             s.scenario, s.ios, s.errors, round(100.0 * s.availability, 3),
             round(s.p50_us, 1), round(s.p99_us, 1), round(s.p999_us, 1),
             round(s.throughput_mb_s, 1), s.retries, s.timeouts, s.failovers,
-            s.replays, s.msg_dropped + s.link_drops,
+            s.replays, s.msg_dropped + s.link_drops, s.power_loss_retries,
         ])
     return res
 
@@ -231,10 +271,13 @@ def exp_chaos(smoke: bool = False, seed: int = 0) -> ExperimentResult:
     deterministic = rerun.digest == by_name["crash-replica"].digest
     res = _result_table(stats)
     crash = by_name["crash-replica"]
+    ploss = by_name["power-loss"]
     res.notes = (
         f"crash-replica: {crash.osds_marked_down} OSD(s) heartbeat-detected down, "
         f"{crash.retries} retries + {crash.failovers} read failovers, "
         f"{crash.errors} client-visible errors; "
+        f"power-loss: {ploss.power_loss_retries} AGAIN-bounced ops retried, "
+        f"{ploss.wal_replays} WAL replay(s), {ploss.errors} errors; "
         f"determinism (same seed, two runs): "
         f"{'PASS' if deterministic else 'FAIL'} (digest {crash.digest})"
     )
@@ -266,5 +309,40 @@ def chaos_smoke(seed: int = 0, nrequests: int = 80) -> tuple[int, str]:
     report += (
         f"\nSMOKE PASS: {first.ios} I/Os, 0 errors, {first.retries} retries, "
         f"{first.failovers} failovers, deterministic (digest {first.digest})"
+    )
+    return 0, report
+
+
+def power_loss_smoke(seed: int = 0, nrequests: int = 80) -> tuple[int, str]:
+    """Seeded CI smoke: cut a primary's power mid-run, replay, rejoin.
+
+    Returns ``(exit_code, report)``; nonzero when any invariant fails:
+    zero client-visible errors (AGAIN bounces must be retried to
+    success), exactly one WAL replay on the revived OSD, and
+    bit-identical stats across two same-seed runs.
+    """
+    scenario = SCENARIOS[4]
+    first = run_chaos_scenario(scenario, seed=seed, nrequests=nrequests)
+    second = run_chaos_scenario(scenario, seed=seed, nrequests=nrequests)
+    problems = []
+    if first.errors:
+        problems.append(f"expected 0 client-visible errors, got {first.errors}")
+    if first.wal_replays != 1:
+        problems.append(f"expected exactly 1 WAL replay, got {first.wal_replays}")
+    if first.power_loss_retries + first.retries + first.failovers == 0:
+        problems.append("power-loss path never exercised (no bounced ops)")
+    if first.digest != second.digest:
+        problems.append(
+            f"nondeterministic: digests {first.digest} != {second.digest}"
+        )
+    report = _result_table([first]).render()
+    if problems:
+        report += "\nSMOKE FAIL:\n" + "\n".join(f"  - {p}" for p in problems)
+        return 1, report
+    report += (
+        f"\nSMOKE PASS: {first.ios} I/Os survived a {POWER_OUTAGE_NS // 1000} us "
+        f"power outage with 0 errors, {first.power_loss_retries} AGAIN-bounced "
+        f"ops retried, {first.wal_replays} WAL replay, deterministic "
+        f"(digest {first.digest})"
     )
     return 0, report

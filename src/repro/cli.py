@@ -87,8 +87,26 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--smoke", action="store_true",
                        help="small seeded crash run; exit nonzero if any I/O error "
                             "surfaces, no retry/failover fires, or runs diverge")
+    chaos.add_argument("--power-loss", action="store_true",
+                       help="seeded power-loss scenario: cut a primary's power "
+                            "mid-run, WAL-replay it back in; exit nonzero on any "
+                            "client error, missing replay, or run divergence")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--nrequests", type=int, default=300)
+
+    csim = sub.add_parser(
+        "crashsim", help="crash-point explorer: durability invariants across power cuts"
+    )
+    csim.add_argument("--smoke", action="store_true",
+                      help="bounded matrix (replicated + EC); exit nonzero on any "
+                           "durability violation, unexercised replay path, or "
+                           "digest divergence between two same-seed runs")
+    csim.add_argument("--seed", type=int, default=0)
+    csim.add_argument("--points", type=int, default=0,
+                      help="max crash points per pool kind (0 = default for mode)")
+    csim.add_argument("--pool", default="both", choices=["replicated", "ec", "both"])
+    csim.add_argument("--report", metavar="PATH",
+                      help="also write a JSON violation report (CI artifact)")
 
     qos = sub.add_parser("qos", help="multi-tenant QoS: mClock fairness on shared OSD pools")
     qos.add_argument("--smoke", action="store_true",
@@ -211,13 +229,35 @@ def _cmd_experiment(name: str) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from .bench.chaos import chaos_smoke, exp_chaos
+    from .bench.chaos import chaos_smoke, exp_chaos, power_loss_smoke
 
+    if args.power_loss:
+        code, report = power_loss_smoke(seed=args.seed, nrequests=min(args.nrequests, 80))
+        print(report)
+        return code
     if args.smoke:
         code, report = chaos_smoke(seed=args.seed, nrequests=min(args.nrequests, 80))
         print(report)
         return code
     print(exp_chaos(seed=args.seed).render())
+    return 0
+
+
+def _cmd_crashsim(args) -> int:
+    from .bench.crashsim import crashsim_smoke, exp_crashsim
+
+    if args.smoke:
+        code, report = crashsim_smoke(
+            seed=args.seed,
+            max_points=args.points or 6,
+            pool=args.pool,
+            report_path=args.report or "",
+        )
+        print(report)
+        if args.report:
+            print(f"[report written to {args.report}]")
+        return code
+    print(exp_crashsim(seed=args.seed, max_points=args.points, pool=args.pool).render())
     return 0
 
 
@@ -367,6 +407,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "crashsim":
+        return _cmd_crashsim(args)
     if args.command == "qos":
         return _cmd_qos(args)
     if args.command == "recover":

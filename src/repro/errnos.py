@@ -13,6 +13,9 @@ from __future__ import annotations
 ENOENT = 2
 #: I/O error — the generic catch-all (``BLK_STS_IOERR``).
 EIO = 5
+#: Try again — transient resource loss (``BLK_STS_AGAIN``); the target
+#: lost power and will return after WAL replay, so callers should retry.
+EAGAIN = 11
 #: No data available — media/checksum failure (``BLK_STS_MEDIUM``).
 ENODATA = 61
 #: Link has been severed — transport failure (``BLK_STS_TRANSPORT``).
@@ -26,6 +29,7 @@ ECANCELED = 125
 ERRNO_NAMES = {
     ENOENT: "ENOENT",
     EIO: "EIO",
+    EAGAIN: "EAGAIN",
     ENODATA: "ENODATA",
     ENOLINK: "ENOLINK",
     ETIMEDOUT: "ETIMEDOUT",

@@ -34,6 +34,7 @@ from .qos import (
 from .recovery import PGInfo, PGState, RecoveryConfig, RecoveryManager
 from .rbd import DEFAULT_OBJECT_SIZE, Extent, RBDImage
 from .storage import HDD, NVME_SSD, PROFILES, SATA_SSD, SMR_HDD, MediaProfile, StorageDevice
+from .wal import DurabilityConfig, WalRecord, WalReplayStats, WriteAheadLog
 
 __all__ = [
     "CLASS_CLIENT",
@@ -58,6 +59,7 @@ __all__ = [
     "ClusterSpec",
     "DEFAULT_OBJECT_SIZE",
     "DEFAULT_POLICY",
+    "DurabilityConfig",
     "Envelope",
     "MessageFaults",
     "OpPolicy",
@@ -90,6 +92,9 @@ __all__ = [
     "SATA_SSD",
     "SMR_HDD",
     "StorageDevice",
+    "WalRecord",
+    "WalReplayStats",
+    "WriteAheadLog",
     "base_object_name",
     "build_cluster",
     "shard_object_name",

@@ -71,6 +71,8 @@ class RadosClient(Messenger):
         self.timeouts = 0
         self.failovers = 0
         self.degraded_reads = 0
+        #: Ops that raced an OSD power loss (retryable AGAIN status).
+        self.power_loss_retries = 0
         #: Ops issued against an acting set with CRUSH holes (the pool
         #: is running below its redundancy target — degraded IO).
         self.degraded_placements = 0
@@ -80,6 +82,7 @@ class RadosClient(Messenger):
         self._m_timeouts = metrics.counter("client.timeouts")
         self._m_failovers = metrics.counter("client.failovers")
         self._m_degraded = metrics.counter("client.degraded_reads")
+        self._m_power_loss = metrics.counter("client.power_loss_retries")
         self._m_place_hits = metrics.counter("client.placement_cache.hits")
         self._m_place_misses = metrics.counter("client.placement_cache.misses")
 
@@ -162,6 +165,11 @@ class RadosClient(Messenger):
         if reply.status is BlkStatus.TIMEOUT:
             self.timeouts += 1
             self._m_timeouts.add()
+        elif reply.status is BlkStatus.AGAIN:
+            # Power loss at the target: distinctly labeled — the OSD is
+            # expected back after WAL replay, unlike a TRANSPORT crash.
+            self.power_loss_retries += 1
+            self._m_power_loss.add()
 
     def _backoff(self, attempt: int) -> Generator:
         """Process: retry delay before attempt ``attempt + 1``."""

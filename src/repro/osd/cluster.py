@@ -22,6 +22,8 @@ from .osd import OsdConfig, OsdDaemon
 from .osdmap import OSDMap, Pool
 from .policy import OpPolicy
 from .storage import NVME_SSD, MediaProfile, StorageDevice
+from .wal import DurabilityConfig, WriteAheadLog
+from ..status import BlkStatus
 
 
 @dataclass
@@ -37,6 +39,9 @@ class ClusterSpec:
     bucket_alg: BucketAlg = BucketAlg.STRAW2
     #: Retry/failover policy installed on every client this cluster mints.
     op_policy: OpPolicy = field(default_factory=OpPolicy)
+    #: Per-OSD transactional commit pipeline (``repro.osd.wal``); None
+    #: (the default) keeps the volatile seed write path byte-identical.
+    durability: Optional[DurabilityConfig] = None
     seed: int = 0
 
 
@@ -81,6 +86,7 @@ class CephCluster:
                     env, osd_id, self.fabric, device, self.osdmap, self.spec.osd_config,
                     metrics=metrics,
                 )
+                self._attach_wal(daemon)
                 daemon.start()
                 self.daemons[osd_id] = daemon
         # The monitor lives on the first server and can run heartbeats.
@@ -164,6 +170,7 @@ class CephCluster:
             self.env, dev_id, self.fabric, device, self.osdmap, self.spec.osd_config,
             metrics=self.metrics,
         )
+        self._attach_wal(daemon)
         daemon.start()
         self.daemons[dev_id] = daemon
         if self.recovery is not None:
@@ -217,6 +224,21 @@ class CephCluster:
             self.qos = QosManager(self.env, self, config, metrics=self.metrics)
         return self.qos
 
+    # -- durability ----------------------------------------------------------------
+
+    def _attach_wal(self, daemon: OsdDaemon) -> None:
+        """Install the commit pipeline on a daemon when configured."""
+        if self.spec.durability is None:
+            return
+        daemon.wal = WriteAheadLog(
+            self.env,
+            daemon.device,
+            daemon,
+            self.spec.durability,
+            rng=self.rng.stream(f"wal.{daemon.osd_id}"),
+            metrics=self.metrics,
+        )
+
     # -- failure injection --------------------------------------------------------
 
     def fail_osd(self, osd_id: int) -> None:
@@ -231,6 +253,48 @@ class CephCluster:
         if daemon is None:
             raise StorageError(f"unknown osd.{osd_id}")
         daemon.stop()
+
+    def power_loss_osd(self, osd_id: int) -> None:
+        """Cut power to an OSD at this instant.
+
+        In-flight ops bounce with the retryable AGAIN status, the
+        device's volatile write-back cache resolves under seeded fate
+        draws (persisted / dropped / torn), and nobody marks the OSD
+        down — like :meth:`crash_osd`, detection is the heartbeats' job.
+        Requires a durable cluster (``ClusterSpec.durability``).
+        """
+        daemon = self.daemons.get(osd_id)
+        if daemon is None:
+            raise StorageError(f"unknown osd.{osd_id}")
+        if daemon.wal is None:
+            raise StorageError(
+                f"osd.{osd_id} has no WAL: power loss needs ClusterSpec.durability"
+            )
+        daemon.stop(status=BlkStatus.AGAIN)
+        daemon.wal.power_loss()
+
+    def power_on_osd(self, osd_id: int):
+        """Restore power: WAL replay, rejoin, and *delta* recovery.
+
+        The replayed store keeps everything acked before the cut, so the
+        recovery census only ships keys written during the outage.
+        Returns the :class:`~repro.osd.wal.WalReplayStats`.
+        """
+        daemon = self.daemons.get(osd_id)
+        if daemon is None:
+            raise StorageError(f"unknown osd.{osd_id}")
+        stats = daemon.restart_from_wal()
+        daemon.start()
+        if not self.osdmap.osds[osd_id].up:
+            self.osdmap.mark_up(osd_id)
+        else:
+            # Nobody noticed the outage: bump so peers re-peer anyway.
+            self.osdmap.bump()
+        if self.recovery is not None:
+            # Force a census even when no epoch changed during the
+            # outage — writes that raced the cut may be missing here.
+            self.recovery.kick()
+        return stats
 
     def any_live_daemon(self) -> OsdDaemon:
         """A live daemon usable as recovery helper."""

@@ -89,9 +89,10 @@ class Fabric:
         self._entity_host: dict[str, str] = {}
         self._entity_stack: dict[str, StackProfile] = {}
         self._inbox: dict[str, Store] = {}
-        #: Crashed entities: deliveries to them bounce with a transport
-        #: error (the peer kernel's RST) instead of queueing forever.
-        self._dead: set[str] = set()
+        #: Crashed entities and the status their bounces carry: a process
+        #: crash answers with TRANSPORT (the peer kernel's RST); a power
+        #: loss answers with the retryable AGAIN status.
+        self._dead: dict[str, BlkStatus] = {}
         #: Optional chaos injection applied to cross-host messages.
         self.faults: Optional[MessageFaults] = None
         #: Messages lost because a link on the path was down.
@@ -118,14 +119,14 @@ class Fabric:
             raise NetworkError(f"unknown entity {entity!r}")
         return self._entity_host[entity]
 
-    def mark_dead(self, entity: str) -> None:
+    def mark_dead(self, entity: str, status: BlkStatus = BlkStatus.TRANSPORT) -> None:
         """Record an entity crash: future deliveries to it bounce."""
         self.host_of(entity)  # validate
-        self._dead.add(entity)
+        self._dead[entity] = status
 
     def mark_alive(self, entity: str) -> None:
         """Clear the crash mark (entity restart)."""
-        self._dead.discard(entity)
+        self._dead.pop(entity, None)
 
     def is_dead(self, entity: str) -> bool:
         """True if the entity has crashed and not restarted."""
@@ -187,12 +188,12 @@ class Fabric:
     def _bounce(self, dead: str, src: str, payload: Any) -> None:
         """Answer a request to a crashed entity with the kernel's RST."""
         if isinstance(payload, OsdOp) and src not in self._dead:
-            refusal = OsdReply(
-                payload.op_id,
-                False,
-                error=f"connection refused: {dead} is down",
-                status=BlkStatus.TRANSPORT,
-            )
+            status = self._dead[dead]
+            if status is BlkStatus.AGAIN:
+                error = f"power loss: {dead} is unavailable"
+            else:
+                error = f"connection refused: {dead} is down"
+            refusal = OsdReply(payload.op_id, False, error=error, status=status)
             self.send_async(dead, src, refusal.wire_size(), refusal)
 
     def send_async(self, src: str, dst: str, nbytes: int, payload: Any):
@@ -230,51 +231,58 @@ class Messenger:
         if self._loop_proc is None:
             self._loop_proc = self.env.process(self._demux(), name=f"msgr:{self.entity}")
 
-    def stop(self) -> None:
+    def stop(self, status: BlkStatus = BlkStatus.TRANSPORT) -> None:
         """Crash the entity mid-op.
 
         Kills the demux loop and every in-flight request handler, fails
-        this entity's own outstanding calls with a transport error, and
-        bounces queued/in-flight requesters with connection resets —
-        nobody is left waiting on an event that will never fire.
+        this entity's own outstanding calls, and bounces queued/in-flight
+        requesters — nobody is left waiting on an event that will never
+        fire.  ``status`` selects the failure class the peers observe:
+        TRANSPORT for a process crash (connection reset), AGAIN for a
+        power loss (retryable — the entity returns after WAL replay).
         """
         if self._loop_proc is not None and self._loop_proc.is_alive:
             self._loop_proc.interrupt("stopped")
         self._loop_proc = None
-        self.fabric.mark_dead(self.entity)
+        self.fabric.mark_dead(self.entity, status)
         # Kill in-flight handlers; their requesters see a reset.
         for proc, (op_id, src) in list(self._handlers.items()):
             if proc.is_alive:
                 proc.interrupt("crashed")
-            self._reset_reply(op_id, src)
+            self._reset_reply(op_id, src, status)
         self._handlers.clear()
         # Fail our own outstanding calls (no reply is ever coming).
+        if status is BlkStatus.AGAIN:
+            own_error = f"{self.entity} lost power with op {{op_id}} outstanding"
+        else:
+            own_error = f"{self.entity} stopped with op {{op_id}} outstanding"
         for op_id, ev in list(self._pending.items()):
             if not ev.triggered:
                 ev.succeed(
                     OsdReply(
                         op_id,
                         False,
-                        error=f"{self.entity} stopped with op {op_id} outstanding",
-                        status=BlkStatus.TRANSPORT,
+                        error=own_error.format(op_id=op_id),
+                        status=status,
                     )
                 )
         self._pending.clear()
         # Bounce requests already accepted into the inbox but unread.
         for envelope in self.fabric.drain_inbox(self.entity):
             if isinstance(envelope.payload, OsdOp):
-                self._reset_reply(envelope.payload.op_id, envelope.src)
+                self._reset_reply(envelope.payload.op_id, envelope.src, status)
 
-    def _reset_reply(self, op_id: int, src: str) -> None:
+    def _reset_reply(
+        self, op_id: int, src: str, status: BlkStatus = BlkStatus.TRANSPORT
+    ) -> None:
         """Send the reset a peer's kernel would emit for a dead process."""
         if self.fabric.is_dead(src):
             return
-        reply = OsdReply(
-            op_id,
-            False,
-            error=f"connection reset: {self.entity} crashed",
-            status=BlkStatus.TRANSPORT,
-        )
+        if status is BlkStatus.AGAIN:
+            error = f"power loss: {self.entity} went dark"
+        else:
+            error = f"connection reset: {self.entity} crashed"
+        reply = OsdReply(op_id, False, error=error, status=status)
         self.fabric.send_async(self.entity, src, reply.wire_size(), reply)
 
     def _demux(self) -> Generator:

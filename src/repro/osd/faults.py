@@ -40,6 +40,7 @@ def _scaled_profile(profile: MediaProfile, factor: float) -> MediaProfile:
         channels=profile.channels,
         readahead_hit_ns=int(profile.readahead_hit_ns * factor),
         jitter_sigma=profile.jitter_sigma,
+        flush_ns=int(profile.flush_ns * factor),
     )
 
 
@@ -53,6 +54,8 @@ class FaultInjector:
     _downed_links: set = field(default_factory=set)
     #: OSDs crashed through this injector (silent crashes).
     crashed_osds: list = field(default_factory=list)
+    #: OSDs currently without power (power_loss / restore_power).
+    powered_off: list = field(default_factory=list)
     _timeline_procs: list = field(default_factory=list)
 
     def slow_device(self, osd_id: int, factor: float) -> None:
@@ -134,6 +137,32 @@ class FaultInjector:
         self.cluster.crash_osd(osd_id)
         self.crashed_osds.append(osd_id)
 
+    # -- chaos: power loss -----------------------------------------------------
+
+    def power_loss(self, osd_id: int) -> None:
+        """Cut power to a durable OSD at the current sim instant.
+
+        The volatile write-back cache resolves under seeded fate draws
+        (some entries persist, some drop, some *tear* a prefix of atomic
+        units), in-flight client ops bounce with the retryable AGAIN
+        status, and nobody marks the OSD down — heartbeats detect it.
+        See ``CephCluster.power_loss_osd``.
+        """
+        self.cluster.power_loss_osd(osd_id)
+        self.powered_off.append(osd_id)
+
+    def restore_power(self, osd_id: int):
+        """Restore power to an OSD cut via :meth:`power_loss`.
+
+        The OSD replays its WAL and rejoins with log-based delta
+        recovery.  Returns the :class:`~repro.osd.wal.WalReplayStats`.
+        """
+        if osd_id not in self.powered_off:
+            raise StorageError(f"osd.{osd_id} has no injected power loss")
+        stats = self.cluster.power_on_osd(osd_id)
+        self.powered_off.remove(osd_id)
+        return stats
+
     def set_link(self, host: str, up: bool) -> None:
         """Force a host's uplink + downlink up or down (messages in
         flight finish; new sends are dropped while down)."""
@@ -195,6 +224,7 @@ class FaultInjector:
         """Number of faults currently injected."""
         n = len(self._original_profiles) + len(self._original_bandwidth)
         n += len(self._downed_links) + len(self.crashed_osds)
+        n += len(self.powered_off)
         if self.cluster.fabric.faults is not None:
             n += 1
         return n

@@ -134,17 +134,23 @@ class Monitor:
         self.osdmap.mark_down(osd_id)
 
     def revive_osd(self, osd_id: int) -> None:
-        """Bring a previously failed OSD back (empty store, must backfill).
+        """Bring a previously failed OSD back.
 
-        The store really is cleared: writes continued while the OSD was
-        out, so its pre-failure content is stale and serving it would be
-        silent data loss.  Until backfill completes the daemon answers
-        absent reads with a retryable "missing during backfill" error
-        (clients fail over) instead of authoritative absence."""
+        Without a WAL the store really is cleared: the volatile seed
+        store cannot prove anything about its pre-failure content, so
+        serving it would be silent data loss; until backfill completes
+        the daemon answers absent reads with a retryable "missing during
+        backfill" error (clients fail over) instead of authoritative
+        absence.  A durable OSD instead replays its WAL: everything
+        acked before the failure survives, and recovery only ships the
+        delta written during the outage."""
         daemon = self.daemons.get(osd_id)
         if daemon is None:
             raise StorageError(f"unknown osd.{osd_id}")
-        daemon.reset_for_backfill()
+        if daemon.wal is not None:
+            daemon.restart_from_wal()
+        else:
+            daemon.reset_for_backfill()
         daemon.start()
         self._suspect_since.pop(osd_id, None)
         self.osdmap.mark_up(osd_id)

@@ -153,6 +153,10 @@ class OsdDaemon(Messenger):
         #: (client fails over) instead of "no such object" (which clients
         #: read as authoritative zeros — silent stale/lost data).
         self.backfill_reserve = False
+        #: Set by ``Cluster`` when a :class:`~repro.osd.wal.DurabilityConfig`
+        #: is configured: the transactional commit pipeline.  None keeps
+        #: the write path byte-identical to the volatile seed.
+        self.wal = None
         self._codecs: dict[int, ReedSolomon] = {}
         #: op_id -> reply for completed mutations (pglog dup detection):
         #: a replayed or duplicated write resends the recorded ack
@@ -163,6 +167,35 @@ class OsdDaemon(Messenger):
         self._m_ops = metrics.counter(f"osd.{osd_id}.ops")
         self._m_op_latency = metrics.latency(f"osd.{osd_id}.op_latency")
         self._m_replays = metrics.counter("osd.replays_absorbed")
+
+    def stop(self, status=None) -> None:
+        """Crash the OSD; also kill the WAL's background applies.
+
+        ``status`` (a :class:`~repro.status.BlkStatus`) selects what
+        peers with in-flight ops observe — TRANSPORT for a process
+        crash, AGAIN for a power loss.
+        """
+        if status is None:
+            super().stop()
+        else:
+            super().stop(status)
+        if self.wal is not None:
+            self.wal.halt()
+
+    def restart_from_wal(self):
+        """Durable restart: replay the WAL instead of reviving empty.
+
+        The replayed store keeps everything acked before the crash, so
+        recovery only has to ship the delta written during the outage —
+        no backfill reserve, no full re-push.  Returns the
+        :class:`~repro.osd.wal.WalReplayStats`.
+        """
+        if self.wal is None:
+            raise StorageError(f"osd.{self.osd_id} has no WAL to restart from")
+        stats = self.wal.recover()
+        self._reply_cache.clear()
+        self.backfill_reserve = False
+        return stats
 
     def reset_for_backfill(self) -> None:
         """Wipe state for a revived-empty rejoin (the pre-failure store,
@@ -185,7 +218,23 @@ class OsdDaemon(Messenger):
 
     # -- local apply helpers -------------------------------------------------
 
-    def _apply_write(self, name: str, offset: int, data: bytes, sequential: bool) -> Generator:
+    def _apply_write(
+        self,
+        name: str,
+        offset: int,
+        data: bytes,
+        sequential: bool,
+        version: int = 0,
+        span=None,
+        whole: bool = False,
+    ) -> Generator:
+        if self.wal is not None:
+            # Transactional path: durable (journaled + barriered) before
+            # return; the pipeline updates the visible store itself.
+            yield from self.wal.write(
+                name, offset, data, sequential, version, span=span, whole=whole
+            )
+            return
         yield from self.device.write(name, offset, len(data), sequential)
         self.store.write(name, offset, data)
 
@@ -327,7 +376,14 @@ class OsdDaemon(Messenger):
     def _do_direct_write(self, op: OsdOp) -> Generator:
         if op.data is None:
             raise StorageError(f"write op {op.op_id} carries no data")
-        yield from self._apply_write(op.object_name, op.offset, op.data, op.sequential)
+        yield from self._apply_write(
+            op.object_name,
+            op.offset,
+            op.data,
+            op.sequential,
+            version=op.version or op.op_id,
+            span=getattr(op, "_obs_service", None),
+        )
         self.versions[op.object_name] = op.version or op.op_id
         return OsdReply(op.op_id, True)
 
@@ -365,7 +421,9 @@ class OsdDaemon(Messenger):
         local = self.env.process(
             wrap_span(
                 local_span,
-                self._apply_write(op.object_name, op.offset, op.data, op.sequential),
+                self._apply_write(
+                    op.object_name, op.offset, op.data, op.sequential, version=op.op_id
+                ),
             ),
             name="local",
         )
@@ -381,7 +439,14 @@ class OsdDaemon(Messenger):
         if op.data is None or op.shard < 0:
             raise StorageError(f"shard write {op.op_id} missing data or shard index")
         name = shard_object_name(op.object_name, op.shard)
-        yield from self._apply_write(name, op.offset, op.data, op.sequential)
+        yield from self._apply_write(
+            name,
+            op.offset,
+            op.data,
+            op.sequential,
+            version=op.version or op.op_id,
+            span=getattr(op, "_obs_service", None),
+        )
         self.versions[name] = op.version or op.op_id
         return OsdReply(op.op_id, True)
 
@@ -447,7 +512,9 @@ class OsdDaemon(Messenger):
                 self.env.process(
                     wrap_span(
                         local_span,
-                        self._apply_write(name, 0, shards[local_shard], op.sequential),
+                        self._apply_write(
+                            name, 0, shards[local_shard], op.sequential, version=op.op_id
+                        ),
                     ),
                     name="local",
                 )
@@ -497,6 +564,12 @@ class OsdDaemon(Messenger):
         return OsdReply(op.op_id, True)
 
     def _do_delete(self, op: OsdOp) -> Generator:
+        if self.wal is not None:
+            # Journal first so the tombstone (or trim) survives a crash;
+            # the visible store/version updates below stay unchanged.
+            yield from self.wal.delete(
+                op.object_name, op.version if op.version < 0 else op.version or op.op_id
+            )
         if op.version < 0:
             # Recovery trim of a stale copy: erase the version entry so
             # no tombstone blocks a future backfill if this OSD rejoins
@@ -561,6 +634,6 @@ class OsdDaemon(Messenger):
         if name in self.store:
             # Whole-object install: drop any shorter/partial base first.
             self.store.delete(name)
-        yield from self._apply_write(name, 0, op.data, True)
+        yield from self._apply_write(name, 0, op.data, True, version=op.version, whole=True)
         self.versions[name] = op.version
         return OsdReply(op.op_id, True)

@@ -47,6 +47,7 @@ and fault-free golden traces are byte-identical to the seed.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator, Optional
@@ -75,12 +76,17 @@ CLASS_SYSTEM = "system"
 _MAX_SPACING_NS = 10**18
 
 
-def _spacing_ns(rate: float) -> int:
-    """Tag spacing (ns) for a rate, clamped to [1, _MAX_SPACING_NS]."""
+def _spacing_ns(rate: float, round_up: bool = False) -> int:
+    """Tag spacing (ns) for a rate, clamped to [1, _MAX_SPACING_NS].
+
+    ``round_up`` rounds fractional spacings toward *more* spacing, for
+    ceilings: the integer spacing must never yield an effective rate
+    above the nominal one.
+    """
     spacing = NS_PER_SEC / rate
     if spacing >= _MAX_SPACING_NS:
         return _MAX_SPACING_NS
-    return max(1, round(spacing))
+    return max(1, math.ceil(spacing) if round_up else round(spacing))
 
 
 @dataclass(frozen=True)
@@ -125,7 +131,7 @@ class QosSpec:
         """Limit tag spacing in ns (None = unlimited)."""
         if self.limit_iops is None:
             return None
-        return _spacing_ns(self.limit_iops)
+        return _spacing_ns(self.limit_iops, round_up=True)
 
 
 @dataclass

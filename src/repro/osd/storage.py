@@ -31,6 +31,10 @@ class MediaProfile:
     channels: int  # internal parallelism
     readahead_hit_ns: int  # service time on readahead-cache hit
     jitter_sigma: float = 0.08
+    #: Cost of a FLUSH/FUA barrier draining the volatile write-back
+    #: cache to stable media (cheap on NVMe with PLP-less DRAM cache,
+    #: a full track-cache destage on spinning rust).
+    flush_ns: int = us(100)
 
 
 #: Datacenter NVMe (the paper's OSD drives are flash-backed).
@@ -44,6 +48,7 @@ NVME_SSD = MediaProfile(
     write_bw=2.0e9,
     channels=8,
     readahead_hit_ns=us(3),
+    flush_ns=us(40),
 )
 
 #: SATA SSD.
@@ -57,6 +62,7 @@ SATA_SSD = MediaProfile(
     write_bw=0.45e9,
     channels=4,
     readahead_hit_ns=us(5),
+    flush_ns=us(400),
 )
 
 #: 7.2k HDD.
@@ -70,6 +76,7 @@ HDD = MediaProfile(
     write_bw=0.19e9,
     channels=1,
     readahead_hit_ns=us(20),
+    flush_ns=int(2.0e6),
 )
 
 #: Host-managed SMR HDD (the paper ran tests on SMR; random writes must
@@ -84,6 +91,7 @@ SMR_HDD = MediaProfile(
     write_bw=0.15e9,
     channels=1,
     readahead_hit_ns=us(20),
+    flush_ns=int(3.0e6),
 )
 
 PROFILES = {p.name: p for p in (NVME_SSD, SATA_SSD, HDD, SMR_HDD)}
@@ -109,10 +117,17 @@ class StorageDevice:
         # readahead window).
         self._read_cursor: dict[str, tuple[int, int]] = {}
         self.readahead_window = readahead_window
+        # Volatile write-back cache: persistence actions queued by the
+        # WAL pipeline, made stable only by flush() (FLUSH/FUA barrier).
+        # A power loss drops everything still queued here.
+        self._volatile: list = []
+        self._flush_lock = Resource(env, capacity=1, name=f"dev:{name}:flush")
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.flushes = 0
+        self.flushed_entries = 0
 
     def _jitter(self, mean_ns: int) -> int:
         if self.rng is None:
@@ -156,6 +171,46 @@ class StorageDevice:
         yield from self._channels.using(service)
         self.writes += 1
         self.bytes_written += length
+
+    def cache_write(self, entry) -> None:
+        """Queue a persistence action in the volatile write-back cache.
+
+        ``entry`` is any object with a ``persist()`` method; it becomes
+        stable only when a subsequent :meth:`flush` barrier runs it.
+        """
+        self._volatile.append(entry)
+
+    def flush(self) -> Generator:
+        """Process: FLUSH/FUA barrier — drain the volatile cache.
+
+        Persists (in order) every entry that was queued when the barrier
+        was issued.  Entries queued while the flush is in flight stay
+        volatile, matching real cache-flush semantics.
+        """
+        req = self._flush_lock.request()
+        try:
+            yield req
+            batch = len(self._volatile)
+            yield from self._channels.using(self._jitter(self.profile.flush_ns))
+            for entry in self._volatile[:batch]:
+                entry.persist()
+            del self._volatile[:batch]
+            self.flushes += 1
+            self.flushed_entries += batch
+        finally:
+            self._flush_lock.release(req)
+
+    def drop_volatile(self) -> list:
+        """Power loss: return and clear the un-flushed cache entries."""
+        entries = self._volatile
+        self._volatile = []
+        self._read_cursor.clear()
+        return entries
+
+    @property
+    def volatile_depth(self) -> int:
+        """Entries sitting in the volatile write-back cache."""
+        return len(self._volatile)
 
     @property
     def queue_depth(self) -> int:

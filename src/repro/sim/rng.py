@@ -25,9 +25,19 @@ class RngStream:
 
     def __init__(self, master_seed: int, name: str):
         self.name = name
-        seed = _derive_seed(master_seed, name)
+        self._seed = seed = _derive_seed(master_seed, name)
         self.py = random.Random(seed)
         self.np = np.random.default_rng(seed)
+
+    def fork(self, name: str) -> "RngStream":
+        """A child substream derived from this stream's seed and ``name``.
+
+        Forking never consumes draws from the parent, so consumers that
+        need event-keyed randomness (e.g. fate draws at a particular
+        crash instant) stay decoupled from each other and from the
+        parent's position.
+        """
+        return RngStream(self._seed, f"{self.name}/{name}")
 
     # Convenience pass-throughs used in hot paths -----------------------------
 

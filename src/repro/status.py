@@ -30,6 +30,9 @@ class BlkStatus(Enum):
     TRANSPORT = "transport"
     #: Media/checksum failure — corrupt payload (``BLK_STS_MEDIUM``).
     MEDIUM = "medium"
+    #: Transient resource loss — target lost power mid-op and will come
+    #: back after WAL replay; retry the op (``BLK_STS_AGAIN``).
+    AGAIN = "again"
 
     @property
     def errno(self) -> int:
@@ -58,16 +61,20 @@ _STATUS_ERRNO = {
     BlkStatus.TIMEOUT: errnos.ETIMEDOUT,
     BlkStatus.TRANSPORT: errnos.ENOLINK,
     BlkStatus.MEDIUM: errnos.ENODATA,
+    BlkStatus.AGAIN: errnos.EAGAIN,
 }
 
-#: Severity order: OK < MEDIUM < TIMEOUT < TRANSPORT < IOERR.  IOERR is
-#: the terminal catch-all; retryable conditions rank below it.
+#: Severity order: OK < MEDIUM < AGAIN < TIMEOUT < TRANSPORT < IOERR.
+#: IOERR is the terminal catch-all; retryable conditions rank below it,
+#: and AGAIN (power loss, target returns after replay) is the mildest
+#: retryable failure.
 _SEVERITY = {
     BlkStatus.OK: 0,
     BlkStatus.MEDIUM: 1,
-    BlkStatus.TIMEOUT: 2,
-    BlkStatus.TRANSPORT: 3,
-    BlkStatus.IOERR: 4,
+    BlkStatus.AGAIN: 2,
+    BlkStatus.TIMEOUT: 3,
+    BlkStatus.TRANSPORT: 4,
+    BlkStatus.IOERR: 5,
 }
 
 

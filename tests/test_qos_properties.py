@@ -80,9 +80,14 @@ def test_floors_and_ceilings_hold(scenario, phase_ns):
             assert stats is not None
             assert stats.rate_iops(w0, w1) >= 0.95 * spec.reservation_iops
         if spec.limit_iops is not None and stats is not None:
-            # Ceiling: limit tags space dispatches at l_spacing, so any
-            # window holds at most window/spacing + 1 of them — exact.
-            allowed = window_s * spec.limit_iops + 1
+            # Ceiling: limit tags space priority-phase dispatches at
+            # l_spacing.  mClock checks the limit only in the priority
+            # phase, so a flow with a reservation can interleave O(1)
+            # reservation-phase dispatches between limit slots (the
+            # shared per-flow head re-blocks the priority phase right
+            # after) — hence a small constant on top of window/spacing,
+            # plus 1% for window-boundary quantization.
+            allowed = window_s * spec.limit_iops * 1.01 + 3
             n = sum(1 for t in stats.dispatch_times if w0 <= t < w1)
             assert n <= allowed
 
