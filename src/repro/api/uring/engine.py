@@ -95,6 +95,8 @@ class UringEngine(AioEngine):
         """One submitter thread: batch-fill SQ, submit, reap, refill."""
         submit_times: dict[int, int] = {}
         sizes: dict[int, int] = {}
+        health = self.blk.health
+        bios: dict[int, object] = {}
         inflight = 0
         while shard or inflight:
             # Batched fill: the push count is bounded by four independent
@@ -107,12 +109,15 @@ class UringEngine(AioEngine):
                 for sqe, bio in zip(inst.prepare_many(batch), batch):
                     submit_times[sqe.user_data] = now
                     sizes[sqe.user_data] = bio.size
+                    if health is not None:
+                        bios[sqe.user_data] = bio
                 inflight += pushed
                 yield from inst.submit()
             if inflight:
                 cqes = yield from inst.wait_cqes(wait_nr=1, max_cqes=self.batch_size)
                 for cqe in cqes:
                     pending = inst._complete_t0.pop(cqe.user_data, None)
+                    root = None
                     if pending is not None and self.blk.tracer is not None:
                         req_id, t0, root = pending
                         self.blk.tracer.record(req_id, "complete", t0, self.env.now)
@@ -121,7 +126,11 @@ class UringEngine(AioEngine):
                             # duration now equals the recorded latency.
                             root.record("complete", "stage", t0, self.env.now)
                             root.finish(ok=cqe.ok)
-                    result.latencies_ns.append(self.env.now - submit_times.pop(cqe.user_data))
+                    latency = self.env.now - submit_times.pop(cqe.user_data)
+                    result.latencies_ns.append(latency)
+                    if health is not None:
+                        bio = bios.pop(cqe.user_data)
+                        health.observe_client(bio.op.value, bio.tenant, latency, cqe.ok, root)
                     nbytes = sizes.pop(cqe.user_data)
                     if cqe.ok:
                         result.bytes_moved += nbytes

@@ -20,6 +20,7 @@ from .experiments import (
 )
 from .breakdown import exp_breakdown
 from .cachebench import cache_smoke, exp_cache, run_cache_case
+from .healthbench import HealthRunReport, health_smoke, run_health
 from .chaos import ChaosRunStats, ChaosScenario, chaos_smoke, exp_chaos, run_chaos_scenario
 from .qosbench import QosRunStats, TenantStats, exp_qos, qos_smoke, run_qos_scenario
 from .export import export_all, export_csv
@@ -36,8 +37,11 @@ __all__ = [
     "ChaosScenario",
     "QosRunStats",
     "TenantStats",
+    "HealthRunReport",
     "cache_smoke",
     "chaos_smoke",
+    "health_smoke",
+    "run_health",
     "exp_qos",
     "qos_smoke",
     "run_qos_scenario",

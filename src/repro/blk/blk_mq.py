@@ -166,6 +166,10 @@ class BlockLayer:
         self.tracer = tracer
         #: MetricsRegistry shared by the whole stack (no-op by default).
         self.metrics = metrics or NULL_METRICS
+        #: Set by ``repro.obs.health.HealthLayer.attach``: client-side
+        #: completion accounting shared by every engine over this layer
+        #: (numjobs > 1 builds extra engines, one block layer).
+        self.health = None
         self.config = config or BlkMqConfig()
         if self.config.num_hw_queues < 1:
             raise BlockLayerError("need at least one hardware queue")
@@ -272,6 +276,8 @@ class BlockLayer:
         request.submitted_at = self.env.now
         request.completion = self.env.event()
         tracer = self.tracer
+        if tracer is not None and bio.tenant:
+            tracer.tag_request(request.req_id, bio.tenant)
         if tracer is not None and tracer.causal:
             # Adopt the root opened at SQE prep; engines that do not
             # pre-stamp one (sync/libaio paths) get it rooted here.

@@ -157,6 +157,27 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write critical-path folded stacks (flamegraph.pl input)")
     prof.add_argument("--export-trees", metavar="PATH",
                       help="write the raw span forest as nested JSON")
+    prof.add_argument("--prom", metavar="PATH",
+                      help="write the metrics registry as Prometheus text exposition")
+
+    health = sub.add_parser(
+        "health", help="always-on cluster health: slow ops, SLO burn, root causes"
+    )
+    health.add_argument("scenario", nargs="?", default="randwrite",
+                        choices=sorted(PROFILE_SCENARIOS))
+    health.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
+    health.add_argument("--bs", type=int, default=kib(4))
+    health.add_argument("--iodepth", type=int, default=4)
+    health.add_argument("--nrequests", type=int, default=60)
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument("--smoke", action="store_true",
+                        help="CI gate: clean run must stay HEALTH_OK and event-neutral, "
+                             "chaos must flag slow ops with exact root causes, report "
+                             "must be deterministic across same-seed runs")
+    health.add_argument("--report", metavar="PATH",
+                        help="write the deterministic JSON health report (CI artifact)")
+    health.add_argument("--prom", metavar="PATH",
+                        help="write the metrics registry as Prometheus text exposition")
 
     trace = sub.add_parser("trace", help="six-stage I/O lifecycle breakdown")
     trace.add_argument("--framework", default="delibak", choices=sorted(FRAMEWORKS))
@@ -345,6 +366,42 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_health(args) -> int:
+    import pathlib
+
+    from .bench.healthbench import health_smoke, run_health
+
+    if args.smoke:
+        code, text, chaos = health_smoke(seed=args.seed)
+        print(text)
+        if args.report:
+            path = pathlib.Path(args.report)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(chaos.to_json(include_trees=True))
+            print(f"[health report written to {path}]")
+        return code
+    report = run_health(
+        args.scenario,
+        framework=args.framework,
+        bs=args.bs,
+        iodepth=args.iodepth,
+        nrequests=args.nrequests,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.report:
+        path = pathlib.Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json(include_trees=True))
+        print(f"[health report written to {path}]")
+    if args.prom:
+        path = pathlib.Path(args.prom)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.prometheus)
+        print(f"[prometheus exposition written to {path}]")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from .obs.profile import profile_smoke, run_profile
 
@@ -369,6 +426,8 @@ def _cmd_profile(args) -> int:
         print(f"[folded stacks written to {report.export_flamegraph(args.flamegraph)}]")
     if args.export_trees:
         print(f"[span forest written to {report.export_trees(args.export_trees)}]")
+    if args.prom:
+        print(f"[prometheus exposition written to {report.export_prometheus(args.prom)}]")
     return 0
 
 
@@ -421,6 +480,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_replay(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "health":
+        return _cmd_health(args)
     if args.command == "trace":
         return _cmd_trace(args)
     return 1  # pragma: no cover

@@ -85,6 +85,8 @@ class FrameworkInstance:
         self.tracer: Optional[Tracer] = None
         #: Client-side cache tier (populated when built with ``cache=...``).
         self.cache: Optional[CachedImage] = None
+        #: Always-on health layer (populated when built with ``health=...``).
+        self.health = None
         #: Stack-wide metrics registry (no-op unless built with ``metrics=True``).
         self.metrics: MetricsRegistry = metrics or NULL_METRICS
 
@@ -191,6 +193,7 @@ def build_framework(
     obs: bool = False,
     metrics: Union[bool, MetricsRegistry] = False,
     cache: Optional[CacheConfig] = None,
+    health=None,
 ) -> FrameworkInstance:
     """Assemble one generation of the stack over a fresh cluster.
 
@@ -215,6 +218,12 @@ def build_framework(
     event-identical to no cache at all.  On erasure pools the cache line
     is forced to the object size (the EC datapath models whole-object
     encode/decode, so line fills must be object-aligned).
+
+    ``health=True`` (or a :class:`repro.obs.health.HealthConfig`)
+    attaches the always-on cluster health layer — slow-op detector,
+    flight recorder, SLO burn tracking — as ``fw.health``.  The hooks
+    are completion-path bookkeeping only; no simulation events are
+    scheduled, so the event stream stays identical to a run without it.
     """
     pool_spec = pool_spec or PoolSpec()
     env = env or Environment()
@@ -302,6 +311,11 @@ def build_framework(
     )
     fw.tracer = tracer
     fw.cache = cache_tier
+    if health:
+        from ..obs.health import HealthConfig, HealthLayer
+
+        health_config = health if isinstance(health, HealthConfig) else None
+        HealthLayer(env, health_config, metrics=registry).attach(fw)
     return fw
 
 

@@ -9,7 +9,13 @@ Three pieces (ISSUE 5 tentpole):
   latency to the spans that gated it, plus straggler-slack reporting;
 * :mod:`~repro.obs.sampler` / :mod:`~repro.obs.digest` /
   :mod:`~repro.obs.export` — continuous resource telemetry, streaming
-  per-stage percentile digests, and Perfetto/flamegraph export.
+  per-stage percentile digests, and Perfetto/flamegraph/Prometheus
+  export;
+* :mod:`~repro.obs.slowop` / :mod:`~repro.obs.flight` /
+  :mod:`~repro.obs.health` — the always-on cluster health layer
+  (ISSUE 10 tentpole): adaptive slow-op detection, a tail-sampling
+  flight recorder with auto root-cause reports, and the periodic
+  HEALTH_OK/WARN/ERR cluster model with SLO burn-rate tracking.
 
 The CLI front end lives in :mod:`repro.obs.profile` (``python -m repro
 profile``); it is intentionally **not** imported at package-init time —
@@ -35,14 +41,31 @@ from .critical_path import (
 )
 from .digest import StreamingDigest
 from .export import (
+    escape_label_value,
     export_flamegraph,
     export_perfetto,
+    export_prometheus,
     export_span_trees,
     folded_stacks,
+    prometheus_name,
     to_perfetto,
+    to_prometheus,
     validate_trace_document,
 )
+from .flight import FlightRecorder, RootCauseReport, SlowOpDump, root_cause
+from .health import (
+    HEALTH_ERR,
+    HEALTH_OK,
+    HEALTH_WARN,
+    HealthCheck,
+    HealthConfig,
+    HealthLayer,
+    HealthReport,
+    SloConfig,
+    SloTracker,
+)
 from .sampler import ResourceSampler, install_framework_probes, telemetry_summary
+from .slowop import SlowOpConfig, SlowOpDetector, SlowOpRecord
 
 #: Lazily re-exported from :mod:`repro.obs.profile` (PEP 562) — a
 #: module-level import would cycle through the framework layer.
@@ -67,21 +90,41 @@ __all__ = [
     *_PROFILE_EXPORTS,
     "CausalTracer",
     "CriticalPath",
+    "FlightRecorder",
+    "HEALTH_ERR",
+    "HEALTH_OK",
+    "HEALTH_WARN",
+    "HealthCheck",
+    "HealthConfig",
+    "HealthLayer",
+    "HealthReport",
     "PathSegment",
     "ResourceSampler",
+    "RootCauseReport",
+    "SloConfig",
+    "SloTracker",
+    "SlowOpConfig",
+    "SlowOpDetector",
+    "SlowOpRecord",
+    "SlowOpDump",
     "SpanNode",
     "StragglerReport",
     "StreamingDigest",
     "aggregate_attribution",
     "analyze",
+    "escape_label_value",
     "export_flamegraph",
     "export_perfetto",
+    "export_prometheus",
     "export_span_trees",
     "folded_stacks",
     "install_framework_probes",
+    "prometheus_name",
+    "root_cause",
     "stragglers",
     "telemetry_summary",
     "to_perfetto",
+    "to_prometheus",
     "validate_trace_document",
     "verify_exact",
     "wrap_span",

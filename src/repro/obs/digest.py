@@ -85,6 +85,29 @@ class StreamingDigest:
                 return max(self.min_value, min(self.max_value, _bucket_low(idx)))
         return self.max_value
 
+    def fraction_above(self, threshold: int) -> float:
+        """Approximate fraction of samples with value > ``threshold``.
+
+        Exact while values are small enough for singleton buckets;
+        otherwise the threshold's own bucket counts fully toward the
+        "above" side, so the estimate errs high by at most one bucket
+        width (~3% of the value) — the conservative direction for SLO
+        burn accounting.
+        """
+        if not self.count:
+            return 0.0
+        if threshold < self.min_value:
+            return 1.0
+        if threshold >= self.max_value:
+            return 0.0
+        cut = _bucket_index(threshold)
+        above = sum(n for idx, n in self.buckets.items() if idx > cut)
+        if _bucket_low(cut + 1) - 1 > threshold:
+            # The cut bucket spans values on both sides of the
+            # threshold: count it whole (the conservative side).
+            above += self.buckets.get(cut, 0)
+        return above / self.count
+
     def percentiles(self) -> dict[str, int]:
         """The standard report row: p50/p95/p99/p999."""
         return {

@@ -16,6 +16,7 @@ pid layout:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Iterable, Optional
 
@@ -211,6 +212,110 @@ def folded_stacks(folded: dict[tuple[str, ...], int]) -> str:
 def export_flamegraph(folded: dict[tuple[str, ...], int], path) -> Path:
     path = Path(path)
     path.write_text(folded_stacks(folded))
+    return path
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+
+#: Valid Prometheus metric-name characters; everything else becomes "_".
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LEADING = re.compile(r"^[^a-zA-Z_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted registry name into a legal Prometheus identifier.
+
+    ``qos.limit_waits`` -> ``repro_qos_limit_waits``.  The exposition
+    format requires ``[a-zA-Z_:][a-zA-Z0-9_:]*``; dotted names (and OSD
+    ids like ``osd.3.op_latency``) violate it, so dots and any other
+    illegal characters map to ``_`` and a leading digit gets the prefix
+    in front.  The *original* name is preserved as a label by
+    :func:`to_prometheus`, so the mapping stays reversible.
+    """
+    sanitized = _PROM_INVALID.sub("_", name)
+    if prefix:
+        sanitized = f"{prefix}_{sanitized}"
+    if _PROM_LEADING.match(sanitized):
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote, and line feed must be backslash-escaped."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _prom_line(prom: str, labels: dict[str, str], value) -> str:
+    body = ",".join(
+        f'{k}="{escape_label_value(str(v))}"' for k, v in labels.items()
+    )
+    return f"{prom}{{{body}}} {_prom_number(value)}"
+
+
+def to_prometheus(registry, end_ns: Optional[int] = None, prefix: str = "repro") -> str:
+    """Render a whole :class:`~repro.sim.metrics.MetricsRegistry` as
+    Prometheus text exposition (version 0.0.4).
+
+    Every instrument keeps its dotted registry name in the ``metric``
+    label (sanitized identifiers are lossy: ``a.b`` and ``a_b`` would
+    otherwise collide).  Distributions and latency recorders expose
+    ``_count``/``_sum`` plus fixed quantiles; time series expose their
+    time-weighted mean closed at ``end_ns``.  Output is sorted, so two
+    same-seed runs render byte-identical pages.
+    """
+    from ..sim.monitor import (
+        Counter,
+        Distribution,
+        Gauge,
+        LatencyRecorder,
+        ThroughputMeter,
+        TimeSeries,
+    )
+
+    lines: list[str] = []
+    for name, metric in registry.items():
+        prom = prometheus_name(name, prefix)
+        labels = {"metric": name}
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(_prom_line(prom, labels, metric.value))
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(_prom_line(prom, labels, metric.value))
+        elif isinstance(metric, (Distribution, LatencyRecorder)):
+            lines.append(f"# TYPE {prom} summary")
+            samples = metric.samples
+            for q in (0.5, 0.99):
+                value = metric.percentile(q * 100) if isinstance(metric, Distribution) \
+                    else metric.percentile_us(q * 100) * 1000.0
+                lines.append(_prom_line(prom, {**labels, "quantile": repr(q)}, value))
+            lines.append(_prom_line(f"{prom}_count", labels, len(samples)))
+            lines.append(_prom_line(f"{prom}_sum", labels, sum(samples)))
+        elif isinstance(metric, ThroughputMeter):
+            lines.append(f"# TYPE {prom}_ops counter")
+            lines.append(_prom_line(f"{prom}_ops", labels, metric.ops))
+            lines.append(f"# TYPE {prom}_bytes counter")
+            lines.append(_prom_line(f"{prom}_bytes", labels, metric.bytes))
+        elif isinstance(metric, TimeSeries):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(_prom_line(prom, labels, metric.time_weighted_mean(end_ns)))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_prometheus(registry, path, end_ns: Optional[int] = None) -> Path:
+    """Write the exposition page; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(registry, end_ns))
     return path
 
 

@@ -28,6 +28,7 @@ from .digest import StreamingDigest
 from .export import (
     export_flamegraph,
     export_perfetto,
+    export_prometheus,
     export_span_trees,
     folded_stacks,
     to_perfetto,
@@ -133,6 +134,10 @@ class ProfileReport:
 
     def export_trees(self, path):
         return export_span_trees(self.roots, path)
+
+    def export_prometheus(self, path):
+        """Metrics registry as Prometheus text exposition (0.0.4)."""
+        return export_prometheus(self.registry, path, self.end_ns)
 
     # -- rendering ----------------------------------------------------------------
 

@@ -1,0 +1,160 @@
+"""Slow-op detection: lightweight always-on per-request latency accounting.
+
+Ceph flags "slow ops" when a request exceeds ``osd_op_complaint_time``;
+this module reproduces the idea with adaptive thresholds.  The detector
+keeps one :class:`~repro.obs.digest.StreamingDigest` per op class
+(bounded memory, no span trees, no simulation events) and flags a
+request when its latency exceeds the larger of
+
+* an absolute per-class budget (``SlowOpConfig.budget_ns``), and
+* a multiple of the class's running p99 (``p99_multiple``), once the
+  class has seen ``min_samples`` requests (cold classes cannot produce
+  a meaningful percentile, so only the absolute budget applies there).
+
+Observation is plain bookkeeping on the completion path — one digest
+insert and one comparison per request — so the detector can stay on in
+every run.  The flight recorder (:mod:`repro.obs.flight`) subscribes to
+the flagged records and promotes the matching span trees to full dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .digest import StreamingDigest
+
+
+@dataclass(frozen=True)
+class SlowOpConfig:
+    """Thresholding policy of the slow-op detector."""
+
+    #: Flag when latency > p99 * multiple (adaptive part).
+    p99_multiple: float = 3.0
+    #: Per-op-class absolute latency budgets, ns (empty = adaptive only).
+    budget_ns: dict[str, int] = field(default_factory=dict)
+    #: Samples a class needs before its p99 threshold is trusted.
+    min_samples: int = 30
+    #: Flagged records kept (oldest dropped first).
+    max_records: int = 256
+
+    def __post_init__(self):
+        if self.p99_multiple <= 1.0:
+            raise ValueError(f"p99_multiple must be > 1, got {self.p99_multiple}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {self.max_records}")
+
+
+@dataclass(frozen=True)
+class SlowOpRecord:
+    """One flagged request (no span tree — that lives in the recorder)."""
+
+    seq: int
+    op_class: str
+    #: Where the latency was measured: "client" or "osd.<id>".
+    origin: str
+    tenant: str
+    latency_ns: int
+    threshold_ns: int
+    end_ns: int
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "op_class": self.op_class,
+            "origin": self.origin,
+            "tenant": self.tenant,
+            "latency_ns": self.latency_ns,
+            "threshold_ns": self.threshold_ns,
+            "end_ns": self.end_ns,
+        }
+
+
+class SlowOpDetector:
+    """Per-class adaptive latency thresholds; flags Ceph-style slow ops."""
+
+    def __init__(self, config: Optional[SlowOpConfig] = None):
+        self.config = config or SlowOpConfig()
+        self.digests: dict[str, StreamingDigest] = {}
+        self.records: list[SlowOpRecord] = []
+        self.observed = 0
+        self.flagged = 0
+        self._seq = 0
+
+    def digest_for(self, op_class: str) -> StreamingDigest:
+        digest = self.digests.get(op_class)
+        if digest is None:
+            digest = self.digests[op_class] = StreamingDigest()
+        return digest
+
+    def threshold_ns(self, op_class: str) -> Optional[int]:
+        """Current flagging threshold for a class (None = cannot flag yet).
+
+        The adaptive and absolute parts compose as a max: an explicit
+        budget never flags ops the running p99 says are normal-slow, and
+        the adaptive threshold still catches regressions in classes
+        whose budget was set generously.
+        """
+        cfg = self.config
+        budget = cfg.budget_ns.get(op_class)
+        digest = self.digests.get(op_class)
+        adaptive = None
+        if digest is not None and digest.count >= cfg.min_samples:
+            adaptive = int(digest.quantile(0.99) * cfg.p99_multiple)
+        if budget is None:
+            return adaptive
+        if adaptive is None:
+            return budget
+        return max(budget, adaptive)
+
+    def observe(
+        self,
+        op_class: str,
+        latency_ns: int,
+        end_ns: int,
+        origin: str = "client",
+        tenant: str = "",
+        ok: bool = True,
+    ) -> Optional[SlowOpRecord]:
+        """Account one completed request; returns a record if flagged.
+
+        The threshold is computed *before* the new sample joins the
+        digest, so one extreme outlier cannot raise the bar it is being
+        judged against.
+        """
+        self.observed += 1
+        threshold = self.threshold_ns(op_class)
+        self.digest_for(op_class).add(latency_ns)
+        if threshold is None or latency_ns <= threshold:
+            return None
+        self._seq += 1
+        record = SlowOpRecord(
+            seq=self._seq,
+            op_class=op_class,
+            origin=origin,
+            tenant=tenant,
+            latency_ns=latency_ns,
+            threshold_ns=threshold,
+            end_ns=end_ns,
+        )
+        self.flagged += 1
+        self.records.append(record)
+        if len(self.records) > self.config.max_records:
+            del self.records[: len(self.records) - self.config.max_records]
+        return record
+
+    def class_summary(self) -> dict[str, dict]:
+        """Per-class observation stats (deterministic key order)."""
+        out: dict[str, dict] = {}
+        for name in sorted(self.digests):
+            digest = self.digests[name]
+            out[name] = {
+                "count": digest.count,
+                "p50_ns": digest.quantile(0.50),
+                "p99_ns": digest.quantile(0.99),
+                "max_ns": digest.max_value,
+                "threshold_ns": self.threshold_ns(name),
+            }
+        return out

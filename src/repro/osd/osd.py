@@ -157,6 +157,10 @@ class OsdDaemon(Messenger):
         #: is configured: the transactional commit pipeline.  None keeps
         #: the write path byte-identical to the volatile seed.
         self.wal = None
+        #: Set by ``repro.obs.health.HealthLayer.attach``: the always-on
+        #: slow-op / SLO accounting sink.  None keeps the request path
+        #: byte-identical to the unmonitored seed.
+        self.health = None
         self._codecs: dict[int, ReedSolomon] = {}
         #: op_id -> reply for completed mutations (pglog dup detection):
         #: a replayed or duplicated write resends the recorded ack
@@ -361,6 +365,14 @@ class OsdDaemon(Messenger):
         self.ops_served += 1
         self._m_ops.add()
         self._m_op_latency.record(self.env.now - t0)
+        if self.health is not None:
+            self.health.observe_osd(
+                self.osd_id,
+                op.kind.value,
+                op.qos.tenant if op.qos is not None else "",
+                self.env.now - t0,
+                reply.ok,
+            )
         if svc is not None:
             svc.finish(ok=reply.ok)
         yield from self.reply_to(src, reply)

@@ -116,6 +116,15 @@ class MetricsRegistry:
         """Name -> instrument for every metric under ``prefix``."""
         return {n: self._metrics[n] for n in self.names(prefix)}
 
+    def items(self, prefix: str = "") -> Iterator[tuple[str, Metric]]:
+        """(name, instrument) pairs in sorted name order.
+
+        The iteration contract exporters rely on (the Prometheus
+        exposition walks it): deterministic order, no copies.
+        """
+        for name in self.names(prefix):
+            yield name, self._metrics[name]
+
     # -- reporting --------------------------------------------------------------
 
     def snapshot(self, end_ns: Optional[int] = None, prefix: str = "") -> dict:

@@ -85,6 +85,15 @@ class Tracer:
         self.env = env
         self.traces: dict[int, RequestTrace] = {}
         self._open: dict[tuple[int, str], Span] = {}
+        #: request_id -> tenant label (QoS-tagged bios only); threaded
+        #: into the Chrome-trace and CSV exports so multi-tenant runs
+        #: keep per-tenant lanes instead of dropping the tag.
+        self.tenants: dict[int, str] = {}
+
+    def tag_request(self, request_id: int, tenant: str) -> None:
+        """Remember which tenant issued ``request_id`` (idempotent)."""
+        if tenant:
+            self.tenants[request_id] = tenant
 
     def begin(self, request_id: int, stage: str) -> None:
         """Open a span (nested same-stage spans are rejected)."""
@@ -181,21 +190,41 @@ class Tracer:
         request's visit to a layer on that layer's lane, instead of one
         unreadable track per request.  The owning request stays in
         ``args.request_id``.
+
+        QoS-tagged requests (see :meth:`tag_request`) additionally split
+        into per-tenant lanes — ``"fabric [tenant-a]"`` — with stable
+        tids assigned by sorted tenant name, and carry ``args.tenant``,
+        so a multi-tenant run's interference pattern is visible per
+        tenant rather than collapsed into one anonymous lane.
         """
         stage_tid = {stage: i for i, stage in enumerate(STAGES)}
-        events = [
-            {
+        # Deterministic tenant lane block after the base stages (and the
+        # reserved unknown-stage tid at len(STAGES)).
+        tenants = sorted({t for t in self.tenants.values() if t})
+        tenant_base = {
+            tenant: len(STAGES) + 1 + i * len(STAGES) for i, tenant in enumerate(tenants)
+        }
+        events = []
+        for rid, span in self.iter_spans():
+            tenant = self.tenants.get(rid, "")
+            stage_idx = stage_tid.get(span.stage)
+            if tenant and stage_idx is not None:
+                tid = tenant_base[tenant] + stage_idx
+            else:
+                tid = stage_idx if stage_idx is not None else len(STAGES)
+            event = {
                 "name": span.stage,
                 "cat": "io",
                 "ph": "X",
                 "ts": span.start_ns / 1000.0,
                 "dur": span.duration_ns / 1000.0,
                 "pid": 0,
-                "tid": stage_tid.get(span.stage, len(STAGES)),
+                "tid": tid,
                 "args": {"request_id": rid, "start_ns": span.start_ns, "end_ns": span.end_ns},
             }
-            for rid, span in self.iter_spans()
-        ]
+            if tenant:
+                event["args"]["tenant"] = tenant
+            events.append(event)
         meta = [
             {
                 "name": "process_name",
@@ -206,7 +235,11 @@ class Tracer:
             }
         ]
         used_tids = {e["tid"] for e in events}
-        for stage, tid in stage_tid.items():
+        lane_names = dict(stage_tid)
+        for tenant in tenants:
+            for stage, idx in stage_tid.items():
+                lane_names[f"{stage} [{tenant}]"] = tenant_base[tenant] + idx
+        for lane, tid in lane_names.items():
             if tid in used_tids:
                 meta.append(
                     {
@@ -214,7 +247,7 @@ class Tracer:
                         "ph": "M",
                         "pid": 0,
                         "tid": tid,
-                        "args": {"name": stage},
+                        "args": {"name": lane},
                     }
                 )
         return {"traceEvents": events + meta, "displayTimeUnit": "ns"}
@@ -232,9 +265,12 @@ class Tracer:
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", newline="") as fh:
             writer = csv.writer(fh)
-            writer.writerow(["request_id", "stage", "start_ns", "end_ns", "duration_ns"])
+            writer.writerow(["request_id", "tenant", "stage", "start_ns", "end_ns", "duration_ns"])
             for rid, span in self.iter_spans():
-                writer.writerow([rid, span.stage, span.start_ns, span.end_ns, span.duration_ns])
+                writer.writerow([
+                    rid, self.tenants.get(rid, ""), span.stage,
+                    span.start_ns, span.end_ns, span.duration_ns,
+                ])
         return path
 
 

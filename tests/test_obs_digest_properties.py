@@ -1,0 +1,92 @@
+"""Property tests for the streaming digest: merge equivalence and the
+tail-mass estimate (satellite of ISSUE 10).
+
+``merge`` must be indistinguishable from having ingested the combined
+stream directly — the SLO burn tracker merges per-bucket digests into
+window digests, so any drift here silently corrupts burn rates.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.digest import SUBBUCKETS, StreamingDigest, _bucket_index, _bucket_low
+
+samples = st.lists(st.integers(min_value=0, max_value=10**12), max_size=200)
+
+
+def _fill(values):
+    d = StreamingDigest()
+    for v in values:
+        d.add(v)
+    return d
+
+
+@given(samples, samples)
+@settings(max_examples=200, deadline=None)
+def test_merge_equals_combined_stream(a, b):
+    """merge(a, b) is *exactly* the digest of the concatenated stream:
+    same buckets, same count/total/min/max, so every quantile and
+    fraction_above answer is identical — merging adds zero sketch error
+    on top of the ingestion error."""
+    merged = _fill(a)
+    merged.merge(_fill(b))
+    combined = _fill(a + b)
+    assert merged.buckets == combined.buckets
+    assert merged.count == combined.count
+    assert merged.total == combined.total
+    assert merged.min_value == combined.min_value
+    assert merged.max_value == combined.max_value
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert merged.quantile(q) == combined.quantile(q)
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_into_empty_is_identity(a):
+    merged = StreamingDigest()
+    merged.merge(_fill(a))
+    combined = _fill(a)
+    assert merged.buckets == combined.buckets
+    assert merged.count == combined.count
+    assert merged.min_value == combined.min_value
+    assert merged.max_value == combined.max_value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200),
+       st.integers(min_value=0, max_value=10**9))
+@settings(max_examples=200, deadline=None)
+def test_fraction_above_bounds(values, threshold):
+    """The estimate brackets the truth from above, within one bucket:
+    never below the exact fraction, never counting samples more than one
+    bucket width under the threshold."""
+    d = _fill(values)
+    est = d.fraction_above(threshold)
+    exact = sum(1 for v in values if v > threshold) / len(values)
+    assert 0.0 <= est <= 1.0
+    assert est >= exact or abs(est - exact) < 1e-12
+    # Upper bound: only samples from the threshold's own bucket (or
+    # above) may be over-counted.
+    cut = _bucket_index(threshold)
+    loose = sum(1 for v in values if _bucket_index(v) >= cut) / len(values)
+    assert est <= loose + 1e-12
+
+
+@given(st.lists(st.integers(min_value=0, max_value=SUBBUCKETS - 1),
+                min_size=1, max_size=100),
+       st.integers(min_value=0, max_value=SUBBUCKETS - 1))
+@settings(max_examples=100, deadline=None)
+def test_fraction_above_exact_for_singleton_buckets(values, threshold):
+    """Values below SUBBUCKETS have one bucket each -> estimate is exact."""
+    d = _fill(values)
+    exact = sum(1 for v in values if v > threshold) / len(values)
+    assert d.fraction_above(threshold) == exact
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+@settings(max_examples=300, deadline=None)
+def test_bucket_roundtrip(value):
+    """Every value lands in a bucket whose range contains it."""
+    idx = _bucket_index(value)
+    low = _bucket_low(idx)
+    assert low <= value
+    assert _bucket_low(idx + 1) > value

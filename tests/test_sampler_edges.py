@@ -1,0 +1,60 @@
+"""ResourceSampler edge cases: mid-interval run ends and empty runs
+(satellite of ISSUE 10)."""
+
+from repro.obs.sampler import ResourceSampler
+from repro.sim import Environment, MetricsRegistry
+from repro.units import us
+
+
+def _busy(env, duration_ns):
+    yield env.timeout(duration_ns)
+
+
+def test_run_ending_mid_interval_still_samples_the_tail():
+    """A run whose last event lands between grid points must still get a
+    final sample at (or after) that event — the clock stops where the
+    heap drains, not at the next grid multiple."""
+    env = Environment()
+    registry = MetricsRegistry()
+    sampler = ResourceSampler(env, registry, interval_ns=us(10))
+    ticks = []
+    sampler.add_gauge("obs.t", lambda: ticks.append(env.now) or float(len(ticks)))
+    env.process(_busy(env, us(25)))  # ends at 25 us: mid third interval
+    sampler.drive()
+    assert env.peek() is None
+    # Samples at 0, 10, 20 us on the grid, plus the post-drain read.
+    assert sampler.samples_taken == 4
+    assert ticks[:3] == [0, us(10), us(20)]
+    assert ticks[-1] >= us(25)
+    series = registry.get("obs.t")
+    assert list(series.times) == ticks
+
+
+def test_zero_event_run_takes_exactly_one_sample():
+    """No events at all: drive() must not spin — one sample at t=0."""
+    env = Environment()
+    registry = MetricsRegistry()
+    sampler = ResourceSampler(env, registry, interval_ns=us(10))
+    sampler.add_gauge("obs.idle", lambda: 0.0)
+    sampler.drive()
+    assert env.now == 0
+    assert sampler.samples_taken == 1
+    assert list(registry.get("obs.idle").times) == [0]
+
+
+def test_zero_request_workload_yields_empty_but_valid_series():
+    """Probes over a run with no I/O record flat series, and rate probes
+    (which need two samples for a delta) stay well-formed."""
+    env = Environment()
+    registry = MetricsRegistry()
+    sampler = ResourceSampler(env, registry, interval_ns=us(10))
+    counter = {"v": 0}
+    sampler.add_rate("obs.rate", lambda: counter["v"])
+    env.process(_busy(env, us(30)))
+    sampler.drive()
+    series = registry.get("obs.rate")
+    # First sample has no previous value -> one fewer rate point than
+    # samples; all zeros since the counter never moved.
+    assert len(series.times) == sampler.samples_taken - 1
+    assert all(v == 0.0 for v in series.values)
+    assert series.time_weighted_mean(env.now) == 0.0

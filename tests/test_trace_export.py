@@ -73,12 +73,61 @@ def test_csv_export_matches_span_stream(tmp_path):
     path = fw.tracer.export_csv(tmp_path / "spans.csv")
     with path.open() as fh:
         rows = list(csv.reader(fh))
-    assert rows[0] == ["request_id", "stage", "start_ns", "end_ns", "duration_ns"]
+    assert rows[0] == ["request_id", "tenant", "stage", "start_ns", "end_ns", "duration_ns"]
     body = rows[1:]
     assert len(body) == sum(1 for _ in fw.tracer.iter_spans())
-    for rid, stage, start, end, dur in body:
+    for rid, tenant, stage, start, end, dur in body:
         assert stage in STAGES
         assert int(end) - int(start) == int(dur)
+
+
+def test_tenant_tags_thread_into_chrome_lanes_and_csv(tmp_path):
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.record(1, "rings", 0, 10)
+    tracer.record(1, "complete", 10, 20)
+    tracer.record(2, "rings", 5, 15)
+    tracer.record(2, "complete", 15, 25)
+    tracer.tag_request(2, "tenant-a")
+    tracer.tag_request(3, "")  # empty tag is a no-op
+    assert tracer.tenants == {2: "tenant-a"}
+
+    doc = tracer.to_chrome_trace()
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    lanes = {e["args"]["name"]: e["tid"]
+             for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    # Untagged request stays on the base stage lanes; tagged request
+    # gets per-tenant lanes named "<stage> [<tenant>]".
+    untagged = [e for e in spans if e["args"]["request_id"] == 1]
+    tagged = [e for e in spans if e["args"]["request_id"] == 2]
+    assert {e["tid"] for e in untagged} == {STAGES.index("rings"), STAGES.index("complete")}
+    assert all("tenant" not in e["args"] for e in untagged)
+    assert {e["tid"] for e in tagged} == {lanes["rings [tenant-a]"], lanes["complete [tenant-a]"]}
+    assert all(e["args"]["tenant"] == "tenant-a" for e in tagged)
+    # Tenant lanes never collide with the base block (0..len(STAGES)).
+    assert min(lanes["rings [tenant-a]"], lanes["complete [tenant-a]"]) > len(STAGES)
+
+    path = tracer.export_csv(tmp_path / "spans.csv")
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    by_req = {row[0]: row[1] for row in rows[1:]}
+    assert by_req == {"1": "", "2": "tenant-a"}
+
+
+def test_tenant_tag_flows_from_fio_job_to_export():
+    fw = build_framework(DELIBAK, trace=True, seed=0)
+    job = FioJob("t", "randwrite", bs=kib(4), iodepth=1, nrequests=5, tenant="gold")
+    proc = fw.env.process(fw.run_fio(job))
+    fw.env.run()
+    assert proc.ok
+    assert set(fw.tracer.tenants.values()) == {"gold"}
+    doc = fw.tracer.to_chrome_trace()
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert spans and all(e["args"]["tenant"] == "gold" for e in spans)
+    names = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+             and e["name"] == "thread_name"}
+    assert any(n.endswith("[gold]") for n in names)
 
 
 def test_export_deterministic_across_seeded_runs(tmp_path):
@@ -95,7 +144,7 @@ def test_cli_trace_export(tmp_path, capsys):
     assert code == 0
     doc = json.loads(out_json.read_text())
     assert doc["traceEvents"]
-    assert out_csv.read_text().startswith("request_id,stage")
+    assert out_csv.read_text().startswith("request_id,tenant,stage")
 
 
 # --- tracer edge cases --------------------------------------------------------
@@ -158,4 +207,4 @@ def test_export_empty_tracer(tmp_path):
     doc = tracer.to_chrome_trace()
     assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
     path = tracer.export_csv(tmp_path / "empty.csv")
-    assert path.read_text().strip() == "request_id,stage,start_ns,end_ns,duration_ns"
+    assert path.read_text().strip() == "request_id,tenant,stage,start_ns,end_ns,duration_ns"
